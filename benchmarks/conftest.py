@@ -1,0 +1,27 @@
+"""Benchmark helpers: result reporting to stdout and benchmarks/results/.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison.  pytest captures stdout, so each
+report is also written to ``benchmarks/results/<name>.txt`` — inspect
+those files (or run with ``-s``) to see the series.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """report(name, text): print and persist a benchmark's output."""
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,55 @@
+"""Application-aware memcached proxying (paper §5.4, Fig. 12).
+
+Run:  python examples/memcached_proxy.py
+
+The proxy NF parses UDP memcached requests at layer 7, hashes the key to
+pick a backend server, and rewrites the packet's destination in place —
+zero-copy, no sockets, no kernel.  Responses flow straight back to the
+client without touching the proxy.
+"""
+
+from repro.baselines import TwemproxyModel
+from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
+from repro.net import FlowMatch
+from repro.nfs import MemcachedProxy
+from repro.sim import MS, Simulator
+from repro.workloads import MemcachedWorkload
+
+SERVERS = [("10.8.0.10", 11211), ("10.8.0.11", 11211),
+           ("10.8.0.12", 11211)]
+
+
+def main() -> None:
+    sim = Simulator()
+    host = NfvHost(sim, name="proxy0")
+    proxy = MemcachedProxy("mc", servers=SERVERS)
+    host.add_nf(proxy, ring_slots=8192)
+    host.install_rule(FlowTableEntry(
+        scope="eth0", match=FlowMatch.any(),
+        actions=(ToService("mc"),)))
+    host.install_rule(FlowTableEntry(
+        scope="mc", match=FlowMatch.any(), actions=(ToPort("eth1"),)))
+
+    workload = MemcachedWorkload(sim, host,
+                                 requests_per_second=500_000,
+                                 key_space=5000, clients=32)
+    sim.run(until=40 * MS)
+
+    print(f"requests forwarded : {proxy.requests_forwarded:,}")
+    print(f"mean RTT           : {workload.latency.mean_us():.1f} us")
+    print("key distribution across backends:")
+    total = sum(proxy.per_server.values())
+    for (ip, port), count in sorted(proxy.per_server.items()):
+        share = 100.0 * count / total
+        print(f"  {ip}:{port}  {count:7,}  ({share:4.1f}%)")
+
+    twem = TwemproxyModel()
+    print(f"\nTwemProxy would saturate at ~{twem.capacity_rps:,.0f} "
+          f"req/s; this proxy is running at 500,000 req/s with "
+          f"{workload.latency.mean_us():.0f} us RTT.")
+    assert proxy.requests_forwarded > 10_000
+    assert len(proxy.per_server) == len(SERVERS)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""SDNFV reproduction library.
+
+Reproduces "SDNFV: Flexible and Dynamic Software Defined Control of an
+Application- and Flow-Aware Data Plane" (Middleware 2016) as a pure-Python
+discrete-event simulation of the full system: the NFV host dataplane, the
+SDN control tier, and the SDNFV hierarchical control framework on top.
+
+Public entry points:
+
+- :mod:`repro.sim` — discrete-event kernel (integer-nanosecond clock).
+- :mod:`repro.net` — packets, headers, flows, HTTP/memcached payload models.
+- :mod:`repro.topology` — network graphs, links, Rocketfuel-like generator.
+- :mod:`repro.dataplane` — NF Manager, ring buffers, flow tables, VMs.
+- :mod:`repro.control` — SDN controller, NFV orchestrator, OpenFlow messages.
+- :mod:`repro.core` — service graphs, SDNFV application, placement engine.
+- :mod:`repro.nfs` — library of network functions used by the paper.
+- :mod:`repro.baselines` — OVS, SDN-only, TwemProxy, plain-DPDK comparators.
+- :mod:`repro.workloads` — PktGen-like traffic generators.
+- :mod:`repro.metrics` — throughput/latency/time-series instrumentation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Comparison systems the paper evaluates against.
+
+- :func:`make_dpdk_forwarder` — the 0-VM DPDK forwarding app (Table 2,
+  Fig. 7 baseline);
+- :class:`OvsControllerModel` / :class:`OvsSwitchSim` — Open vSwitch
+  punting a fraction of packets to a POX controller (Fig. 1);
+- :class:`SdnVideoSystem` — the "current SDN" design with the video
+  detector and policy engine living *inside* the controller (Figs. 10/11);
+- :class:`TwemproxyModel` — Twitter's kernel-path memcached proxy
+  (Fig. 12).
+"""
+
+from repro.baselines.dpdk import make_dpdk_forwarder
+from repro.baselines.ovs import OvsControllerModel, OvsSwitchSim
+from repro.baselines.sdn_video import SdnVideoSystem
+from repro.baselines.twemproxy import TwemproxyModel
+
+__all__ = [
+    "OvsControllerModel",
+    "OvsSwitchSim",
+    "SdnVideoSystem",
+    "TwemproxyModel",
+    "make_dpdk_forwarder",
+]

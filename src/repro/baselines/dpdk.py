@@ -1,0 +1,31 @@
+"""The plain DPDK forwarder: packets bounce port-to-port, no VMs.
+
+Table 2's "0VM (dpdk)" row and Fig. 7's line-rate reference: "a simple
+DPDK forwarding application that doesn't involve any virtualization
+overheads".  Built as an SDNFV host whose only rule forwards ingress
+straight to the egress port — no VM ever touches the packet, so the only
+simulated costs are the RX classify and NIC serialization.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.flow_table import FlowTableEntry
+from repro.dataplane.actions import ToPort
+from repro.dataplane.host import NfvHost
+from repro.net.flow import FlowMatch
+from repro.sim.simulator import Simulator
+
+
+def make_dpdk_forwarder(sim: Simulator, name: str = "dpdk0",
+                        costs: HostCosts | None = None,
+                        in_port: str = "eth0", out_port: str = "eth1",
+                        line_rate_gbps: float = 10.0) -> NfvHost:
+    """A host that forwards every packet from ``in_port`` to ``out_port``."""
+    host = NfvHost(sim, name=name, costs=costs,
+                   ports=(in_port, out_port),
+                   line_rate_gbps=line_rate_gbps)
+    host.install_rule(FlowTableEntry(
+        scope=in_port, match=FlowMatch.any(),
+        actions=(ToPort(out_port),)))
+    return host

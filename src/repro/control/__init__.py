@@ -1,0 +1,19 @@
+"""The SDN control tier: controller, orchestrator, and protocol messages.
+
+The SDN Controller and NFV Orchestrator "provide interfaces between the
+SDNFV Application and the NF Manager" (§3.1).  The controller is modeled
+on POX: a single-threaded request server whose saturation behaviour drives
+Figs. 1 and 10.
+"""
+
+from repro.control.controller import ControllerStats, SdnController
+from repro.control.openflow import FlowModMessage, PacketInMessage
+from repro.control.orchestrator import NfvOrchestrator
+
+__all__ = [
+    "ControllerStats",
+    "FlowModMessage",
+    "NfvOrchestrator",
+    "PacketInMessage",
+    "SdnController",
+]

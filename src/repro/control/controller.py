@@ -1,0 +1,160 @@
+"""A POX-like SDN controller: single-threaded, queueing, northbound API.
+
+The paper uses POX, "a single threaded python application", deliberately —
+its saturation is the phenomenon behind Fig. 1 and Fig. 10.  We model the
+controller as a single-server FIFO queue with a configurable per-request
+service time, plus symmetric channel propagation delay.  At idle the total
+flow-setup round trip matches §5.1's measured 31 ms; under load, queueing
+delay grows without bound — exactly the behaviour the experiments show.
+
+Rule content comes from a pluggable *northbound application* (usually the
+:class:`~repro.core.app.SdnfvApp`) implementing ``rules_for(host, scope,
+flow)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.control.openflow import PacketInMessage
+from repro.dataplane.flow_table import FlowTableEntry
+from repro.net.flow import FiveTuple
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.sim.store import Store
+from repro.sim.units import US
+
+
+@dataclasses.dataclass
+class ControllerStats:
+    """Load counters for the controller."""
+
+    requests: int = 0
+    busy_ns: int = 0
+    max_queue: int = 0
+    failures: int = 0
+
+    def utilization(self, elapsed_ns: int) -> float:
+        return self.busy_ns / elapsed_ns if elapsed_ns else 0.0
+
+
+class _Job:
+    """One unit of controller work: compute a result, then reply."""
+
+    def __init__(self, compute: typing.Callable[[], typing.Any],
+                 reply: Event) -> None:
+        self.compute = compute
+        self.reply = reply
+
+
+class SdnController:
+    """Single-threaded controller with a FIFO request queue."""
+
+    def __init__(self, sim: Simulator,
+                 service_time_ns: int = 500 * US,
+                 propagation_ns: int = 15_250 * US,
+                 northbound: typing.Any | None = None,
+                 workers: int = 1) -> None:
+        """``workers=1`` models POX.  The paper expects "a similar trend
+        even with higher performance SDN Controllers" — raise ``workers``
+        to model a multi-threaded controller and check that the
+        saturation point shifts but the shape stays."""
+        if service_time_ns <= 0:
+            raise ValueError("service time must be positive")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.sim = sim
+        self.service_time_ns = service_time_ns
+        self.propagation_ns = propagation_ns
+        self.northbound = northbound
+        self.workers = workers
+        self.stats = ControllerStats()
+        self._queue = Store(sim)
+        for _ in range(workers):
+            sim.process(self._serve())
+
+    @property
+    def idle_lookup_ns(self) -> int:
+        """Flow-setup round trip with an empty queue (§5.1: 31 ms)."""
+        return 2 * self.propagation_ns + self.service_time_ns
+
+    @property
+    def capacity_per_second(self) -> float:
+        """Saturation request rate across all worker threads."""
+        return self.workers * 1e9 / self.service_time_ns
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Southbound: hosts ask for rules on a flow-table miss
+    # ------------------------------------------------------------------
+    def flow_request(self, host: str, scope: str,
+                     flow: FiveTuple) -> Event:
+        """Submit a packet-in; the event fires with the rule list after the
+        full round trip (propagation + queueing + service + propagation)."""
+        message = PacketInMessage(host=host, scope=scope, flow=flow)
+        return self._submit(lambda: self._rules_for(message))
+
+    def _rules_for(self, message: PacketInMessage) -> list[FlowTableEntry]:
+        if self.northbound is None:
+            return []
+        return list(self.northbound.rules_for(message.host, message.scope,
+                                              message.flow))
+
+    # ------------------------------------------------------------------
+    # Northbound: proactive pushes from the SDNFV Application
+    # ------------------------------------------------------------------
+    def push_rules(self, host_manager: typing.Any,
+                   entries: typing.Sequence[FlowTableEntry]) -> Event:
+        """Install rules on a host through the controller (Fig. 2 steps
+        2–3).  Occupies one service slot plus propagation each way; the
+        returned event fires once the rules are installed on the host."""
+        def deliver() -> bool:
+            for entry in entries:
+                host_manager.install_rule(entry)
+            return True
+
+        return self._submit(deliver)
+
+    def submit_work(self, compute: typing.Callable[[], typing.Any]) -> Event:
+        """Run arbitrary controller-resident work through the queue (used
+        by SDN-baseline applications whose logic lives in the controller).
+        """
+        return self._submit(compute)
+
+    # ------------------------------------------------------------------
+    # The single-threaded server
+    # ------------------------------------------------------------------
+    def _submit(self, compute: typing.Callable[[], typing.Any]) -> Event:
+        reply = self.sim.event()
+        job = _Job(compute, reply)
+        # Request propagation to the controller.
+        self.sim.schedule(self.propagation_ns,
+                          lambda: self._queue.try_put(job))
+        return reply
+
+    def _serve(self):
+        while True:
+            job: _Job = yield self._queue.get()
+            self.stats.max_queue = max(self.stats.max_queue,
+                                       len(self._queue) + 1)
+            yield self.sim.timeout(self.service_time_ns)
+            self.stats.requests += 1
+            self.stats.busy_ns += self.service_time_ns
+            try:
+                result = job.compute()
+            except Exception as error:  # noqa: BLE001 - app fault isolation
+                # A buggy northbound app must not kill the controller:
+                # fail that one request and keep serving.
+                self.stats.failures += 1
+                self.sim.schedule(self.propagation_ns,
+                                  lambda event=job.reply, exc=error:
+                                  event.fail(exc))
+                continue
+            # Reply propagation back to the host.
+            self.sim.schedule(self.propagation_ns,
+                              lambda event=job.reply, value=result:
+                              event.succeed(value))

@@ -1,0 +1,317 @@
+"""The SDNFV Application: the global tier of the control hierarchy (§3.1).
+
+It "has purview over the entire network": it holds the service graphs and
+placement decisions, feeds flow rules to hosts through the SDN controller
+(Fig. 2 steps 1–3), asks the NFV orchestrator to start VMs (step 4), and
+validates / acts on cross-layer messages coming up from NFs (step 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.control.controller import SdnController
+from repro.control.orchestrator import NfvOrchestrator
+from repro.dataplane.flow_table import FlowTableEntry
+from repro.dataplane.host import NfvHost
+from repro.dataplane.messages import (
+    ChangeDefault,
+    NfMessage,
+    RequestMe,
+    SkipMe,
+    UserMessage,
+)
+from repro.net.flow import FiveTuple, FlowMatch
+from repro.core.service_graph import EXIT, ServiceGraph
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+@dataclasses.dataclass
+class GraphDeployment:
+    """One service graph instantiated in the network."""
+
+    graph: ServiceGraph
+    match: FlowMatch
+    ingress_port: str
+    exit_port: str
+    placement: dict[str, str] | None = None  # service -> host name
+    inter_host_ports: dict[tuple[str, str], str] | None = None
+    priority: int = 0
+
+    def covers(self, flow: FiveTuple) -> bool:
+        return self.match.matches(flow)
+
+    def hosts(self, default_host: str) -> set[str]:
+        if self.placement is None:
+            return {default_host}
+        return set(self.placement.values())
+
+
+class SdnfvApp:
+    """Global policies, graph deployment, and cross-layer coordination."""
+
+    def __init__(self, sim: Simulator,
+                 controller: SdnController | None = None,
+                 orchestrator: NfvOrchestrator | None = None,
+                 validation_latency_ns: int = 0,
+                 trust_nfs: bool = True) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.orchestrator = orchestrator
+        self.validation_latency_ns = validation_latency_ns
+        self.trust_nfs = trust_nfs
+        self.hosts: dict[str, NfvHost] = {}
+        self.deployments: list[GraphDeployment] = []
+        self._message_callbacks: dict[
+            str, list[typing.Callable[[str, UserMessage], None]]] = {}
+        self.messages_received: list[tuple[str, UserMessage]] = []
+        self.rejected_messages: list[tuple[str, NfMessage]] = []
+        self.telemetry: list[typing.Any] = []
+        # Optional structured observability (repro.metrics.eventlog);
+        # attach_event_log propagates it to hosts and the orchestrator.
+        self.event_log: typing.Any | None = None
+        if controller is not None and controller.northbound is None:
+            controller.northbound = self
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_event_log(self, event_log: typing.Any) -> None:
+        """Attach one control-event log to the app, every registered
+        host, and the orchestrator."""
+        self.event_log = event_log
+        for host in self.hosts.values():
+            host.manager.event_log = event_log
+        if self.orchestrator is not None:
+            self.orchestrator.event_log = event_log
+
+    # ------------------------------------------------------------------
+    # Host / infrastructure registration
+    # ------------------------------------------------------------------
+    def register_host(self, host: NfvHost) -> None:
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        host.manager.user_message_sink = self._handle_user_message
+        if not self.trust_nfs:
+            host.manager.policy_validator = self
+        if self.event_log is not None:
+            host.manager.event_log = self.event_log
+        if self.orchestrator is not None:
+            self.orchestrator.register_host(host)
+
+    # ------------------------------------------------------------------
+    # Deployment (Fig. 2 steps 1–4)
+    # ------------------------------------------------------------------
+    def deploy(self, graph: ServiceGraph,
+               ingress_port: str = "eth0", exit_port: str = "eth1",
+               match: FlowMatch | None = None,
+               placement: dict[str, str] | None = None,
+               inter_host_ports: dict[tuple[str, str], str] | None = None,
+               proactive: bool = True,
+               priority: int = 0) -> GraphDeployment:
+        """Instantiate a service graph.
+
+        ``proactive=True`` pushes the compiled rules to every involved host
+        immediately (pre-populated rules); with ``proactive=False`` rules
+        are handed out on demand when hosts report flow-table misses.
+        """
+        graph.validate()
+        match = match or FlowMatch.any()
+        deployment = GraphDeployment(
+            graph=graph, match=match, ingress_port=ingress_port,
+            exit_port=exit_port, placement=placement,
+            inter_host_ports=inter_host_ports, priority=priority)
+        self.deployments.append(deployment)
+        if self.event_log is not None:
+            self.event_log.record("deploy", graph=graph.name,
+                                  proactive=proactive,
+                                  services=len(graph.services))
+        involved = (set(placement.values()) if placement
+                    else set(self.hosts))
+        for host_name in involved:
+            host = self.hosts[host_name]
+            for chain in graph.parallel_chains():
+                local = [service for service in chain
+                         if placement is None
+                         or placement[service] == host_name]
+                if len(local) == len(chain):
+                    host.manager.register_parallel_chain(chain)
+            if proactive:
+                rules = self._compile_for(deployment, host_name)
+                self._install(host, rules)
+        return deployment
+
+    def _compile_for(self, deployment: GraphDeployment,
+                     host_name: str) -> list[FlowTableEntry]:
+        return deployment.graph.compile_rules(
+            ingress_port=deployment.ingress_port,
+            exit_port=deployment.exit_port,
+            match=deployment.match,
+            placement=deployment.placement,
+            host=host_name if deployment.placement else None,
+            inter_host_ports=deployment.inter_host_ports,
+            priority=deployment.priority)
+
+    def _install(self, host: NfvHost,
+                 rules: list[FlowTableEntry]) -> None:
+        if self.controller is not None:
+            self.controller.push_rules(host.manager, rules)
+        else:
+            host.install_rules(rules)
+
+    def launch_nf(self, host: NfvHost | str,
+                  nf_factory: typing.Callable[[], typing.Any],
+                  mode: str | None = None) -> Event:
+        """Start a new NF VM via the orchestrator (Fig. 2 step 4)."""
+        if self.orchestrator is None:
+            raise RuntimeError("no orchestrator attached")
+        return self.orchestrator.launch_nf(host, nf_factory, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Northbound interface for the SDN controller (on-demand rules)
+    # ------------------------------------------------------------------
+    def rules_for(self, host_name: str, scope: str,
+                  flow: FiveTuple) -> list[FlowTableEntry]:
+        """Rules for a reported miss: the host's share of the first
+        deployment covering the flow."""
+        for deployment in self.deployments:
+            if deployment.covers(flow):
+                return self._compile_for(deployment, host_name)
+        return []
+
+    # ------------------------------------------------------------------
+    # Cross-layer message validation (§3.4, untrusted NFs)
+    # ------------------------------------------------------------------
+    def validate(self, host_name: str, message: NfMessage) -> Event:
+        """Policy check: NF requests must stay within the edges of the
+        deployed service graphs."""
+        verdict = self._is_permitted(message)
+        event = self.sim.event()
+        if not verdict:
+            self.rejected_messages.append((host_name, message))
+        if self.validation_latency_ns:
+            self.sim.schedule(self.validation_latency_ns,
+                              lambda: event.succeed(verdict))
+        else:
+            event.succeed(verdict)
+        return event
+
+    def _is_permitted(self, message: NfMessage) -> bool:
+        if isinstance(message, UserMessage):
+            return True
+        if isinstance(message, ChangeDefault):
+            for deployment in self.deployments:
+                graph = deployment.graph
+                if message.service not in graph.services:
+                    continue
+                if message.target.startswith("port:"):
+                    return graph.has_edge(message.service, EXIT)
+                if message.target == "drop":
+                    return True
+                return graph.has_edge(message.service, message.target)
+            return False
+        if isinstance(message, (SkipMe, RequestMe)):
+            return any(message.service in deployment.graph.services
+                       for deployment in self.deployments)
+        return False
+
+    # ------------------------------------------------------------------
+    # NF → application messages (Fig. 2 step 5)
+    # ------------------------------------------------------------------
+    def on_message(self, key: str,
+                   callback: typing.Callable[[str, UserMessage], None]
+                   ) -> None:
+        """Subscribe to UserMessages by key (e.g. a DDoS alarm handler)."""
+        self._message_callbacks.setdefault(key, []).append(callback)
+
+    def _handle_user_message(self, host_name: str,
+                             message: UserMessage) -> None:
+        self.messages_received.append((host_name, message))
+        if self.event_log is not None:
+            self.event_log.record("nf_message_up", host=host_name,
+                                  key=message.key,
+                                  sender=message.sender_service)
+        for callback in self._message_callbacks.get(message.key, ()):
+            callback(host_name, message)
+
+    # ------------------------------------------------------------------
+    # Auto-scaling: overload-driven replica instantiation
+    # ------------------------------------------------------------------
+    def enable_autoscaling(
+            self, host: NfvHost | str,
+            nf_factories: typing.Mapping[
+                str, typing.Callable[[], typing.Any]],
+            interval_ns: int = 100_000_000,
+            threshold_slots: int = 256,
+            max_replicas: int = 4,
+            launch_mode: str = "standby_process") -> None:
+        """Boot extra replicas of overloaded services automatically.
+
+        Wires the NF Manager's overload monitor (host tier) to the NFV
+        orchestrator (global tier): sustained queue pressure on a service
+        in ``nf_factories`` launches one more replica, up to
+        ``max_replicas``, using a fast launch mode by default.
+        """
+        if self.orchestrator is None:
+            raise RuntimeError("autoscaling needs an orchestrator")
+        if isinstance(host, str):
+            host = self.hosts[host]
+        manager = host.manager
+        pending: set[str] = set()
+
+        def on_overload(service_id: str, depth: int) -> None:
+            factory = nf_factories.get(service_id)
+            if factory is None or service_id in pending:
+                return
+            replicas = len(manager.vms_by_service.get(service_id, ()))
+            if replicas >= max_replicas:
+                return
+            pending.add(service_id)
+            ready = self.orchestrator.launch_nf(host, factory,
+                                                mode=launch_mode)
+            ready.callbacks.append(
+                lambda _event: pending.discard(service_id))
+
+        manager.start_overload_monitor(
+            interval_ns=interval_ns, threshold_slots=threshold_slots,
+            callback=on_overload)
+
+    # ------------------------------------------------------------------
+    # Telemetry: periodic upward state flow (§3.4 "NF–SDN Coordination")
+    # ------------------------------------------------------------------
+    def start_telemetry(self, interval_ns: int,
+                        callback: typing.Callable[
+                            [typing.Any], None] | None = None) -> None:
+        """Periodically gather a HierarchySnapshot from every tier.
+
+        The paper argues NF→SDN information flow (flow rates, drop rates,
+        application triggers) needs first-class support; this is the
+        polling half — UserMessages through :meth:`on_message` are the
+        event-driven half.  Snapshots accumulate in ``telemetry``.
+        """
+        if interval_ns <= 0:
+            raise ValueError("telemetry interval must be positive")
+        self.sim.process(self._telemetry_loop(interval_ns, callback))
+
+    def _telemetry_loop(self, interval_ns, callback):
+        from repro.core.state import HierarchySnapshot
+        while True:
+            yield self.sim.timeout(interval_ns)
+            snapshot = HierarchySnapshot.gather(self)
+            self.telemetry.append(snapshot)
+            if callback is not None:
+                callback(snapshot)
+
+    # ------------------------------------------------------------------
+    # Network-wide rule updates initiated from the top
+    # ------------------------------------------------------------------
+    def broadcast_message(self, message: NfMessage,
+                          hosts: typing.Iterable[str] | None = None
+                          ) -> None:
+        """Apply a cross-layer rewrite on many hosts (the 'affects other
+        hosts' path of §3.4)."""
+        for host_name in (hosts if hosts is not None else self.hosts):
+            self.hosts[host_name].manager.apply_message(message)

@@ -1,0 +1,30 @@
+"""The NF placement engine (§3.5).
+
+Solves the joint problem of placing NF instances on network nodes and
+routing flows through their service chains, minimizing the maximum
+utilization of links and cores.  Three solvers:
+
+- :class:`MilpSolver` — the paper's MILP (eqs. 1–9) on HiGHS via scipy;
+- :class:`GreedySolver` — the paper's best-effort baseline (first
+  available cores along each flow's shortest path);
+- :class:`DivisionSolver` — the paper's Division Heuristic: solve the
+  MILP over small batches of flows against residual capacity.
+"""
+
+from repro.core.placement.division import DivisionSolver
+from repro.core.placement.greedy import GreedySolver
+from repro.core.placement.milp import MilpSolver
+from repro.core.placement.model import (
+    FlowRequest,
+    PlacementProblem,
+    PlacementResult,
+)
+
+__all__ = [
+    "DivisionSolver",
+    "FlowRequest",
+    "GreedySolver",
+    "MilpSolver",
+    "PlacementProblem",
+    "PlacementResult",
+]

@@ -1,0 +1,170 @@
+"""The greedy best-effort placement baseline (§3.5).
+
+"A greedy best effort heuristic that assigns services to the first
+available cores on network nodes in the shortest path for the flow, and,
+if needed uses additional cores on neighboring nodes on the flow's path."
+
+State is carried across flows: existing instances with spare flow slots
+are reused before new cores are claimed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from repro.core.placement.model import (
+    FlowRequest,
+    PlacementProblem,
+    PlacementResult,
+    compute_utilizations,
+)
+
+
+@dataclasses.dataclass
+class _NodeState:
+    free_cores: int
+    # (service -> remaining flow slots across that service's instances here)
+    slots: dict[str, int] = dataclasses.field(default_factory=dict)
+    instances: dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+class GreedySolver:
+    """First-fit along shortest paths, spilling to path neighbours."""
+
+    name = "greedy"
+
+    def __init__(self, enforce_link_capacity: bool = True) -> None:
+        self.enforce_link_capacity = enforce_link_capacity
+
+    def solve(self, problem: PlacementProblem) -> PlacementResult:
+        started = time.monotonic()
+        topology = problem.topology
+        nodes = {name: _NodeState(free_cores=topology.node(name).cores)
+                 for name in topology.node_names}
+        link_load: dict[frozenset, float] = {}
+
+        instances: dict[tuple[str, str], int] = {}
+        assignments: dict[str, list[str]] = {}
+        routes: dict[str, list[list[str]]] = {}
+        placed: list[str] = []
+        rejected: list[str] = []
+
+        for flow in problem.flows:
+            outcome = self._place_flow(problem, flow, nodes, link_load)
+            if outcome is None:
+                rejected.append(flow.flow_id)
+                continue
+            flow_nodes, segments = outcome
+            assignments[flow.flow_id] = flow_nodes
+            routes[flow.flow_id] = segments
+            placed.append(flow.flow_id)
+
+        for name, state in nodes.items():
+            for service, count in state.instances.items():
+                instances[(name, service)] = count
+
+        max_link, max_core, _links, _cores = compute_utilizations(
+            problem, instances, assignments, routes)
+        return PlacementResult(
+            instances=instances, assignments=assignments, routes=routes,
+            placed_flows=placed, rejected_flows=rejected,
+            max_link_utilization=max_link, max_core_utilization=max_core,
+            solve_time_s=time.monotonic() - started, solver=self.name)
+
+    # ------------------------------------------------------------------
+    def _place_flow(self, problem: PlacementProblem, flow: FlowRequest,
+                    nodes: dict[str, _NodeState],
+                    link_load: dict[frozenset, float],
+                    ) -> tuple[list[str], list[list[str]]] | None:
+        topology = problem.topology
+        path = topology.shortest_path(flow.entry, flow.exit)
+        # Candidate nodes in visit order: path nodes first, then each path
+        # node's neighbours (the "if needed" spill).
+        candidates: list[str] = list(path)
+        for node in path:
+            for neighbor in topology.neighbors(node):
+                if neighbor not in candidates:
+                    candidates.append(neighbor)
+
+        chosen: list[str] = []
+        position = 0  # earliest candidate index usable (keeps chain order)
+        claimed: list[tuple[str, str, bool]] = []  # (node, service, new)
+        for service in flow.chain:
+            placed_at = None
+            for index in range(position, len(candidates)):
+                node = candidates[index]
+                if self._claim(problem, nodes[node], service):
+                    placed_at = index
+                    claimed.append(
+                        (node, service,
+                         nodes[node].instances.get(service, 0) > 0))
+                    break
+            if placed_at is None:
+                self._unclaim(problem, nodes, claimed)
+                return None
+            # Later services may share the node, so don't advance past it.
+            position = min(placed_at, len(path) - 1)
+            chosen.append(candidates[placed_at])
+
+        segments = self._build_route(topology, flow, chosen)
+        if self.enforce_link_capacity and not self._admit_links(
+                topology, segments, flow.bandwidth_gbps, link_load):
+            self._unclaim(problem, nodes, claimed)
+            return None
+        return chosen, segments
+
+    def _claim(self, problem: PlacementProblem, state: _NodeState,
+               service: str) -> bool:
+        slots = state.slots.get(service, 0)
+        if slots > 0:
+            state.slots[service] = slots - 1
+            return True
+        if state.free_cores > 0:
+            state.free_cores -= 1
+            state.instances[service] = state.instances.get(service, 0) + 1
+            state.slots[service] = problem.flows_per_core[service] - 1
+            return True
+        return False
+
+    def _unclaim(self, problem: PlacementProblem,
+                 nodes: dict[str, _NodeState],
+                 claimed: list[tuple[str, str, bool]]) -> None:
+        """Roll back a partially placed flow."""
+        for node, service, _was_existing in reversed(claimed):
+            state = nodes[node]
+            state.slots[service] = state.slots.get(service, 0) + 1
+            per_core = problem.flows_per_core[service]
+            if state.slots[service] == per_core:
+                # The instance we opened is now unused: return the core.
+                state.slots[service] = 0
+                state.instances[service] -= 1
+                if not state.instances[service]:
+                    del state.instances[service]
+                state.free_cores += 1
+
+    @staticmethod
+    def _build_route(topology, flow: FlowRequest,
+                     chosen: list[str]) -> list[list[str]]:
+        waypoints = [flow.entry, *chosen, flow.exit]
+        return [topology.shortest_path(a, b)
+                for a, b in zip(waypoints, waypoints[1:])]
+
+    @staticmethod
+    def _admit_links(topology, segments: list[list[str]],
+                     bandwidth: float,
+                     link_load: dict[frozenset, float]) -> bool:
+        needed: dict[frozenset, float] = {}
+        for path in segments:
+            for a, b in zip(path, path[1:]):
+                key = frozenset((a, b))
+                needed[key] = needed.get(key, 0.0) + bandwidth
+        for key, extra in needed.items():
+            a, b = tuple(key)
+            capacity = topology.link(a, b).capacity_gbps
+            if link_load.get(key, 0.0) + extra > capacity + 1e-9:
+                return False
+        for key, extra in needed.items():
+            link_load[key] = link_load.get(key, 0.0) + extra
+        return True

@@ -1,0 +1,158 @@
+"""Problem and result types for NF placement, plus utilization accounting.
+
+Mirrors the paper's MILP notation (Table 1): nodes are "switches" with
+``cores`` CPU cores; each service j supports ``P_j`` flows per core; flow k
+has an entrance switch, exit switch, service chain, bandwidth B_k and
+optional max delay T_k.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.net.packet import wire_bits  # noqa: F401  (re-export convenience)
+from repro.topology.topology import Topology
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowRequest:
+    """One flow to be placed: entry/exit nodes and its service chain."""
+
+    flow_id: str
+    entry: str
+    exit: str
+    chain: tuple[str, ...]
+    bandwidth_gbps: float = 0.1
+    max_delay_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError(f"flow {self.flow_id!r} has an empty chain")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("flow bandwidth must be positive")
+
+
+@dataclasses.dataclass
+class PlacementProblem:
+    """A placement instance: topology + flows + per-service capacities."""
+
+    topology: Topology
+    flows: list[FlowRequest]
+    flows_per_core: dict[str, int]
+
+    def __post_init__(self) -> None:
+        names = set(self.topology.node_names)
+        for flow in self.flows:
+            if flow.entry not in names or flow.exit not in names:
+                raise ValueError(
+                    f"flow {flow.flow_id!r} endpoints not in topology")
+            for service in flow.chain:
+                if service not in self.flows_per_core:
+                    raise ValueError(
+                        f"no flows_per_core for service {service!r}")
+        seen = set()
+        for flow in self.flows:
+            if flow.flow_id in seen:
+                raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+            seen.add(flow.flow_id)
+
+    @property
+    def services(self) -> list[str]:
+        ordered: list[str] = []
+        for flow in self.flows:
+            for service in flow.chain:
+                if service not in ordered:
+                    ordered.append(service)
+        return ordered
+
+
+@dataclasses.dataclass
+class PlacementResult:
+    """A (possibly partial) solution."""
+
+    instances: dict[tuple[str, str], int]
+    assignments: dict[str, list[str]]          # flow -> node per position
+    routes: dict[str, list[list[str]]]         # flow -> path per segment
+    placed_flows: list[str]
+    rejected_flows: list[str]
+    max_link_utilization: float
+    max_core_utilization: float
+    solve_time_s: float
+    solver: str
+
+    @property
+    def max_utilization(self) -> float:
+        """The paper's objective U: max over links and cores."""
+        return max(self.max_link_utilization, self.max_core_utilization)
+
+    @property
+    def placed_count(self) -> int:
+        return len(self.placed_flows)
+
+    def total_instances(self) -> int:
+        return sum(self.instances.values())
+
+    def placement_for(self, flow: FlowRequest) -> dict[str, str]:
+        """Service → node mapping for one placed flow's chain.
+
+        This is the bridge from the placement engine to deployment: feed
+        it to :meth:`repro.core.app.SdnfvApp.deploy` as ``placement``
+        (with a match selecting the flow) to realize the computed route.
+        """
+        if flow.flow_id not in self.assignments:
+            raise KeyError(f"flow {flow.flow_id!r} was not placed")
+        nodes = self.assignments[flow.flow_id]
+        mapping: dict[str, str] = {}
+        for service, node in zip(flow.chain, nodes):
+            existing = mapping.get(service)
+            if existing is not None and existing != node:
+                raise ValueError(
+                    f"flow {flow.flow_id!r} visits service {service!r} "
+                    "on two different nodes; per-occurrence placement "
+                    "is not expressible as a service map")
+            mapping[service] = node
+        return mapping
+
+
+def compute_utilizations(
+        problem: PlacementProblem,
+        instances: typing.Mapping[tuple[str, str], int],
+        assignments: typing.Mapping[str, list[str]],
+        routes: typing.Mapping[str, list[list[str]]],
+) -> tuple[float, float, dict[frozenset, float],
+           dict[tuple[str, str], float]]:
+    """Shared post-hoc utilization accounting.
+
+    Returns (max_link_util, max_core_util, per_link, per_node_service).
+    Core utilization of (node, service) is assigned flows divided by the
+    aggregate capacity of the instances there (flows spread evenly across
+    replicas — the NF Manager's load balancing guarantees this).
+    """
+    flows_by_id = {flow.flow_id: flow for flow in problem.flows}
+    link_bits: dict[frozenset, float] = {}
+    for flow_id, segments in routes.items():
+        bandwidth = flows_by_id[flow_id].bandwidth_gbps
+        for path in segments:
+            for a, b in zip(path, path[1:]):
+                key = frozenset((a, b))
+                link_bits[key] = link_bits.get(key, 0.0) + bandwidth
+    per_link: dict[frozenset, float] = {}
+    for key, gbps in link_bits.items():
+        a, b = tuple(key)
+        per_link[key] = gbps / problem.topology.link(a, b).capacity_gbps
+
+    loads: dict[tuple[str, str], int] = {}
+    for flow_id, nodes in assignments.items():
+        chain = flows_by_id[flow_id].chain
+        for service, node in zip(chain, nodes):
+            loads[(node, service)] = loads.get((node, service), 0) + 1
+    per_core: dict[tuple[str, str], float] = {}
+    for (node, service), load in loads.items():
+        count = instances.get((node, service), 0)
+        capacity = count * problem.flows_per_core[service]
+        per_core[(node, service)] = (load / capacity if capacity
+                                     else float("inf"))
+    max_link = max(per_link.values(), default=0.0)
+    max_core = max(per_core.values(), default=0.0)
+    return max_link, max_core, per_link, per_core

@@ -1,0 +1,259 @@
+"""Service graphs: DAGs of network functions with default paths (§3.2).
+
+"A network application's processing requirements are represented by a
+graph with vertices for individual network functions and edges representing
+the logical links between them. ... we choose to represent each service
+graph as a DAG with a source and a sink."  Administrators mark one exiting
+edge per vertex as the *default* path (the thick edges of Fig. 3); NFs may
+pick any other edge per packet.
+
+Two sentinel vertices terminate graphs: :data:`EXIT` (leave via the egress
+port) and :data:`DROP` (discard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import networkx as nx
+
+from repro.dataplane.actions import Destination, Drop, ToPort, ToService
+from repro.dataplane.flow_table import FlowTableEntry
+from repro.net.flow import FlowMatch
+
+EXIT = "__exit__"
+DROP = "__drop__"
+_SENTINELS = (EXIT, DROP)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceEdge:
+    """One logical link in the graph."""
+
+    src: str
+    dst: str
+    default: bool = False
+
+
+class ServiceGraph:
+    """A validated NF service DAG with per-vertex default edges."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("a service graph needs a name")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._entry: str | None = None
+        self._read_only: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_service(self, service_id: str,
+                    read_only: bool = False) -> None:
+        """Declare a vertex.  ``read_only`` feeds parallel-chain fusion."""
+        if service_id in _SENTINELS:
+            raise ValueError(f"{service_id!r} is a reserved vertex name")
+        if self._graph.has_node(service_id):
+            raise ValueError(f"duplicate service {service_id!r}")
+        self._graph.add_node(service_id)
+        self._read_only[service_id] = read_only
+
+    def add_edge(self, src: str, dst: str, default: bool = False) -> None:
+        """Add a logical link.  ``dst`` may be EXIT or DROP."""
+        if not self._graph.has_node(src) or src in _SENTINELS:
+            raise ValueError(f"unknown source service {src!r}")
+        if dst not in _SENTINELS and not self._graph.has_node(dst):
+            raise ValueError(f"unknown destination service {dst!r}")
+        if self._graph.has_edge(src, dst):
+            raise ValueError(f"duplicate edge {src!r}->{dst!r}")
+        if default and any(data["default"] for _s, _d, data
+                           in self._graph.out_edges(src, data=True)):
+            raise ValueError(f"{src!r} already has a default edge")
+        self._graph.add_edge(src, dst, default=default)
+
+    def set_entry(self, service_id: str) -> None:
+        """Name the vertex that receives new packets from the ingress."""
+        if not self._graph.has_node(service_id):
+            raise ValueError(f"unknown service {service_id!r}")
+        self._entry = service_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> str:
+        if self._entry is None:
+            raise RuntimeError("service graph has no entry set")
+        return self._entry
+
+    @property
+    def services(self) -> list[str]:
+        return [node for node in self._graph.nodes
+                if node not in _SENTINELS]
+
+    def is_read_only(self, service_id: str) -> bool:
+        return self._read_only.get(service_id, False)
+
+    def out_edges(self, service_id: str) -> list[ServiceEdge]:
+        """Exiting edges, default first."""
+        edges = [ServiceEdge(src=src, dst=dst, default=data["default"])
+                 for src, dst, data
+                 in self._graph.out_edges(service_id, data=True)]
+        edges.sort(key=lambda edge: not edge.default)
+        return edges
+
+    def default_successor(self, service_id: str) -> str:
+        for edge in self.out_edges(service_id):
+            if edge.default:
+                return edge.dst
+        raise ValueError(f"{service_id!r} has no default edge")
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return self._graph.has_edge(src, dst)
+
+    def predecessors(self, service_id: str) -> list[str]:
+        return list(self._graph.predecessors(service_id))
+
+    # ------------------------------------------------------------------
+    # Validation (§3.2: a DAG with a source and a sink)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ValueError describing the first structural problem found."""
+        if self._entry is None:
+            raise ValueError("no entry service set")
+        inner = self._graph.subgraph(self.services)
+        if not nx.is_directed_acyclic_graph(inner):
+            cycle = nx.find_cycle(inner)
+            raise ValueError(f"service graph has a cycle: {cycle}")
+        reachable = nx.descendants(self._graph, self._entry)
+        reachable.add(self._entry)
+        unreachable = set(self.services) - reachable
+        if unreachable:
+            raise ValueError(
+                f"services unreachable from entry: {sorted(unreachable)}")
+        for service in self.services:
+            edges = self.out_edges(service)
+            if not edges:
+                raise ValueError(f"{service!r} has no exit (dead end); "
+                                 "add an edge to EXIT or DROP")
+            defaults = [edge for edge in edges if edge.default]
+            if len(defaults) != 1:
+                raise ValueError(
+                    f"{service!r} must have exactly one default edge, "
+                    f"has {len(defaults)}")
+        terminals = [service for service in self.services
+                     if any(edge.dst in _SENTINELS
+                            for edge in self.out_edges(service))]
+        if not terminals:
+            raise ValueError("no path reaches EXIT or DROP")
+
+    # ------------------------------------------------------------------
+    # Compilation to flow rules (§3.3 "NF Manager Flow Tables")
+    # ------------------------------------------------------------------
+    def compile_rules(self, ingress_port: str, exit_port: str,
+                      match: FlowMatch | None = None,
+                      placement: typing.Mapping[str, str] | None = None,
+                      host: str | None = None,
+                      inter_host_ports: typing.Mapping[
+                          tuple[str, str], str] | None = None,
+                      priority: int = 0) -> list[FlowTableEntry]:
+        """Compile this graph into flow-table entries.
+
+        Single-host usage: leave ``placement``/``host`` unset and every
+        vertex compiles into one rule on the calling host.
+
+        Multi-host usage: ``placement`` maps service → host name, ``host``
+        selects whose rules to emit, and ``inter_host_ports`` maps
+        ``(this_host, next_host)`` → local NIC port toward that host.
+        Edges crossing hosts compile into ToPort actions; the ingress rule
+        on the next host is emitted when compiling *that* host with the
+        same arguments.
+        """
+        self.validate()
+        match = match or FlowMatch.any()
+        rules: list[FlowTableEntry] = []
+
+        def resolve(src: str, dst: str) -> Destination:
+            if dst == EXIT:
+                return ToPort(exit_port)
+            if dst == DROP:
+                return Drop()
+            if placement is not None and host is not None:
+                dst_host = placement[dst]
+                if dst_host != host:
+                    if inter_host_ports is None:
+                        raise ValueError(
+                            "placement crosses hosts but no "
+                            "inter_host_ports given")
+                    return ToPort(inter_host_ports[(host, dst_host)])
+            return ToService(dst)
+
+        local = [service for service in self.services
+                 if placement is None or host is None
+                 or placement[service] == host]
+
+        entry_host = (placement[self.entry]
+                      if placement is not None else None)
+        if placement is None or host is None or entry_host == host:
+            rules.append(FlowTableEntry(
+                scope=ingress_port, match=match,
+                actions=(resolve("", self.entry),), priority=priority))
+        else:
+            # Packets arriving from an upstream host enter mid-graph: give
+            # the ingress port a rule routing to the first local service
+            # reachable along the default path.
+            successor = self._first_local_default(placement, host)
+            if successor is not None:
+                rules.append(FlowTableEntry(
+                    scope=ingress_port, match=match,
+                    actions=(ToService(successor),), priority=priority))
+
+        for service in local:
+            actions = tuple(resolve(service, edge.dst)
+                            for edge in self.out_edges(service))
+            rules.append(FlowTableEntry(scope=service, match=match,
+                                        actions=actions, priority=priority))
+        return rules
+
+    def _first_local_default(self, placement: typing.Mapping[str, str],
+                             host: str) -> str | None:
+        node = self.entry
+        while node not in _SENTINELS:
+            if placement[node] == host:
+                return node
+            node = self.default_successor(node)
+        return None
+
+    # ------------------------------------------------------------------
+    # Parallel-chain detection (§3.3)
+    # ------------------------------------------------------------------
+    def parallel_chains(self) -> list[list[str]]:
+        """Maximal runs of adjacent read-only services safe to parallelize.
+
+        A run v1→v2→…→vk qualifies when every vi is read-only, each vi→vi+1
+        is vi's *only* out-edge, and vi+1's only in-edge — i.e. every packet
+        leaving vi goes to vi+1 (the paper's DDoS→IDS condition).
+        """
+        chains: list[list[str]] = []
+        consumed: set[str] = set()
+        for service in self.services:
+            if service in consumed or not self.is_read_only(service):
+                continue
+            chain = [service]
+            current = service
+            while True:
+                edges = self.out_edges(current)
+                if len(edges) != 1:
+                    break
+                nxt = edges[0].dst
+                if (nxt in _SENTINELS or not self.is_read_only(nxt)
+                        or len(self.predecessors(nxt)) != 1):
+                    break
+                chain.append(nxt)
+                current = nxt
+            if len(chain) >= 2:
+                chains.append(chain)
+                consumed.update(chain)
+        return chains

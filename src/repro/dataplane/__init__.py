@@ -1,0 +1,57 @@
+"""The NFV host data plane: NF Manager, VMs, rings, and flow tables.
+
+This package models one SDNFV host (paper §4): a user-space NF Manager with
+RX / TX / Flow-Controller threads, per-VM lock-free ring buffer pairs,
+zero-copy packet descriptors, an extended OpenFlow-style flow table scoped
+by Service ID, parallel packet processing with reference counting, flow
+lookup caching, and three load-balancing policies.
+"""
+
+from repro.dataplane.actions import (
+    Drop,
+    NfVerdict,
+    ToPort,
+    ToService,
+    Verdict,
+    resolve_parallel_verdicts,
+)
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.descriptors import PacketDescriptor
+from repro.dataplane.flow_table import FlowTable, FlowTableEntry
+from repro.dataplane.host import NfvHost
+from repro.dataplane.load_balancer import LoadBalancePolicy
+from repro.dataplane.manager import NfManager
+from repro.dataplane.messages import (
+    ChangeDefault,
+    NfMessage,
+    RequestMe,
+    SkipMe,
+    UserMessage,
+)
+from repro.dataplane.rings import RingBuffer
+from repro.dataplane.stats import HostStats
+from repro.dataplane.vm import NfVm
+
+__all__ = [
+    "ChangeDefault",
+    "Drop",
+    "FlowTable",
+    "FlowTableEntry",
+    "HostCosts",
+    "HostStats",
+    "LoadBalancePolicy",
+    "NfManager",
+    "NfMessage",
+    "NfVerdict",
+    "NfVm",
+    "NfvHost",
+    "PacketDescriptor",
+    "RequestMe",
+    "RingBuffer",
+    "SkipMe",
+    "ToPort",
+    "ToService",
+    "UserMessage",
+    "Verdict",
+    "resolve_parallel_verdicts",
+]

@@ -1,0 +1,254 @@
+"""The NF Manager's flow table.
+
+Rules extend OpenFlow match/action in the two ways §3.3 describes:
+
+1. every rule is *scoped* to a Service ID or a NIC port ("we include the
+   Service ID the rule applies to, or a NIC port to represent rules for new
+   packets" — implemented in the real system by repurposing the input-port
+   match field);
+2. a rule carries *multiple* actions plus a parallel flag; the first action
+   is the default, the rest are the other allowed next hops an NF may pick
+   with a Send-to verdict.
+
+Lookup semantics: exact-match rules (full 5-tuple) win over wildcard rules;
+among wildcard rules higher ``priority`` wins, then higher specificity,
+then most-recent insertion.  Every mutation bumps ``generation``, which is
+what invalidates descriptor-cached lookups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.dataplane.actions import Destination, Drop, ToService
+from repro.net.flow import FiveTuple, FlowMatch
+
+_entry_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class FlowTableEntry:
+    """One scoped match/actions rule.
+
+    ``idle_timeout_ns`` / ``hard_timeout_ns`` give OpenFlow-style
+    expiry: an idle rule (no lookup hits for the idle period) or an aged
+    rule (installed longer than the hard period) is removed by
+    :meth:`FlowTable.expire` — how per-flow rule state is kept bounded
+    under flow churn.  Zero disables a timeout.
+    """
+
+    scope: str
+    match: FlowMatch
+    actions: tuple[Destination, ...]
+    parallel: bool = False
+    priority: int = 0
+    idle_timeout_ns: int = 0
+    hard_timeout_ns: int = 0
+    entry_id: int = dataclasses.field(
+        default_factory=lambda: next(_entry_ids))
+    installed_at_ns: int = 0
+    last_hit_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise ValueError("a rule needs at least one action")
+        if self.parallel:
+            if len(self.actions) < 2:
+                raise ValueError("a parallel rule needs >= 2 actions")
+            if not all(isinstance(action, ToService)
+                       for action in self.actions):
+                raise ValueError("parallel actions must all target services")
+
+    @property
+    def default_action(self) -> Destination:
+        """The first action — what a Default verdict follows."""
+        return self.actions[0]
+
+    def allows(self, destination: Destination) -> bool:
+        """Whether an NF may Send-to this destination under this rule."""
+        return destination in self.actions or isinstance(destination, Drop)
+
+    def with_default(self, destination: Destination) -> "FlowTableEntry":
+        """A copy whose default action is ``destination``.
+
+        The destination is moved to the front if already allowed, prepended
+        otherwise (callers enforce service-graph validity).
+        """
+        rest = tuple(action for action in self.actions
+                     if action != destination)
+        return dataclasses.replace(
+            self, actions=(destination,) + rest,
+            entry_id=next(_entry_ids))
+
+
+class FlowTable:
+    """Scoped flow rules with exact-match fast path and wildcard fallback."""
+
+    def __init__(self) -> None:
+        self._exact: dict[tuple[str, FiveTuple], FlowTableEntry] = {}
+        self._wildcards: dict[str, list[FlowTableEntry]] = {}
+        self.generation = 0
+        self.lookups = 0
+        self.misses = 0
+        self._insert_seq = itertools.count()
+        self._wildcard_order: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def install(self, entry: FlowTableEntry) -> None:
+        """Add a rule (replacing an identical-match rule in that scope)."""
+        exact_key = entry.match.exact_key()
+        if exact_key is not None:
+            self._exact[(entry.scope, exact_key)] = entry
+        else:
+            rules = self._wildcards.setdefault(entry.scope, [])
+            rules[:] = [rule for rule in rules if rule.match != entry.match]
+            rules.append(entry)
+            self._wildcard_order[entry.entry_id] = next(self._insert_seq)
+        self.generation += 1
+
+    def remove(self, scope: str, match: FlowMatch) -> bool:
+        """Remove the rule with this exact (scope, match).  True if found."""
+        exact_key = match.exact_key()
+        if exact_key is not None:
+            removed = self._exact.pop((scope, exact_key), None) is not None
+        else:
+            rules = self._wildcards.get(scope, [])
+            before = len(rules)
+            rules[:] = [rule for rule in rules if rule.match != match]
+            removed = len(rules) != before
+        if removed:
+            self.generation += 1
+        return removed
+
+    def clear(self) -> None:
+        self._exact.clear()
+        self._wildcards.clear()
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, scope: str, flow: FiveTuple,
+               now_ns: int | None = None) -> FlowTableEntry | None:
+        """Find the best rule for ``flow`` within ``scope``.
+
+        ``now_ns`` (when provided) refreshes the winning rule's idle
+        timer.
+        """
+        self.lookups += 1
+        entry = self._exact.get((scope, flow))
+        if entry is None:
+            best_key: tuple[int, int, int] | None = None
+            for rule in self._wildcards.get(scope, ()):
+                if rule.match.matches(flow):
+                    key = (rule.priority, rule.match.specificity,
+                           self._wildcard_order[rule.entry_id])
+                    if best_key is None or key > best_key:
+                        entry, best_key = rule, key
+        if entry is None:
+            self.misses += 1
+        elif now_ns is not None:
+            entry.last_hit_ns = now_ns
+        return entry
+
+    # ------------------------------------------------------------------
+    # Timeout-based expiry (OpenFlow idle/hard timeouts)
+    # ------------------------------------------------------------------
+    def expire(self, now_ns: int) -> list[FlowTableEntry]:
+        """Remove rules whose idle or hard timeout has elapsed."""
+        expired: list[FlowTableEntry] = []
+        for entry in self.entries():
+            if _is_expired(entry, now_ns):
+                expired.append(entry)
+        for entry in expired:
+            self.remove(entry.scope, entry.match)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Per-flow specialisation (cross-layer message support)
+    # ------------------------------------------------------------------
+    def specialize(self, scope: str,
+                   flow: FiveTuple) -> FlowTableEntry | None:
+        """Ensure an exact rule exists for ``flow`` in ``scope``.
+
+        Cross-layer messages like ChangeDefault apply to specific flows; if
+        the current behaviour comes from a wildcard rule, it is cloned into
+        an exact rule first so the modification doesn't leak to other flows.
+        Returns the exact rule (or None when nothing matches the flow).
+        """
+        existing = self._exact.get((scope, flow))
+        if existing is not None:
+            return existing
+        template = self.lookup(scope, flow)
+        if template is None:
+            return None
+        exact = dataclasses.replace(
+            template, match=FlowMatch.exact(flow),
+            entry_id=next(_entry_ids))
+        self.install(exact)
+        return exact
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self, scope: str | None = None) -> list[FlowTableEntry]:
+        """All rules (optionally restricted to one scope)."""
+        result = [entry for key, entry in self._exact.items()
+                  if scope is None or key[0] == scope]
+        for rule_scope, rules in self._wildcards.items():
+            if scope is None or rule_scope == scope:
+                result.extend(rules)
+        return result
+
+    def scopes(self) -> set[str]:
+        scopes = {key[0] for key in self._exact}
+        scopes.update(self._wildcards)
+        return scopes
+
+    def __len__(self) -> int:
+        return len(self._exact) + sum(len(rules) for rules
+                                      in self._wildcards.values())
+
+    def dump(self) -> str:
+        """Readable table like Fig. 4's service/match/action listing."""
+        lines = ["scope           match                         actions"]
+        for entry in sorted(self.entries(),
+                            key=lambda rule: (rule.scope, -rule.priority)):
+            flag = " [parallel]" if entry.parallel else ""
+            actions = ", ".join(str(action) for action in entry.actions)
+            match = _describe_match(entry.match)
+            lines.append(f"{entry.scope:<15} {match:<29} ({actions}){flag}")
+        return "\n".join(lines)
+
+
+def _is_expired(entry: FlowTableEntry, now_ns: int) -> bool:
+    if (entry.hard_timeout_ns
+            and now_ns - entry.installed_at_ns >= entry.hard_timeout_ns):
+        return True
+    if (entry.idle_timeout_ns
+            and now_ns - entry.last_hit_ns >= entry.idle_timeout_ns):
+        return True
+    return False
+
+
+def _describe_match(match: FlowMatch) -> str:
+    if match == FlowMatch.any():
+        return "*"
+    parts = []
+    if match.src_ip is not None:
+        suffix = (f"/{match.src_prefix_bits}"
+                  if match.src_prefix_bits < 32 else "")
+        parts.append(f"src={match.src_ip}{suffix}")
+    if match.dst_ip is not None:
+        parts.append(f"dst={match.dst_ip}")
+    if match.protocol is not None:
+        parts.append(f"proto={match.protocol}")
+    if match.src_port is not None:
+        parts.append(f"sport={match.src_port}")
+    if match.dst_port is not None:
+        parts.append(f"dport={match.dst_port}")
+    return ",".join(parts)

@@ -1,0 +1,57 @@
+"""Load balancing across same-service VM replicas (paper §3.3, §4.2).
+
+Three policies:
+
+- ``ROUND_ROBIN`` — rotate blindly (the strawman §4.2 argues against);
+- ``LEAST_QUEUE`` — pick the replica with the fewest occupied ring slots
+  (costs one queue scan, 15 ns, per decision);
+- ``FLOW_HASH`` — hash the 5-tuple so all packets of a flow share a replica
+  (required for NFs keeping temporal per-flow state).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.net.flow import FiveTuple
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane.vm import NfVm
+
+
+class LoadBalancePolicy(enum.Enum):
+    ROUND_ROBIN = "round_robin"
+    LEAST_QUEUE = "least_queue"
+    FLOW_HASH = "flow_hash"
+
+
+class ServiceLoadBalancer:
+    """Chooses a VM replica for each packet of a service."""
+
+    def __init__(self,
+                 policy: LoadBalancePolicy = LoadBalancePolicy.LEAST_QUEUE
+                 ) -> None:
+        self.policy = policy
+        self._rr_position = 0
+        self.decisions = 0
+
+    def choose(self, replicas: typing.Sequence["NfVm"],
+               flow: FiveTuple) -> tuple["NfVm", int]:
+        """Pick a replica.  Returns (vm, extra_cost_ns) for the decision."""
+        if not replicas:
+            raise ValueError("no replicas to balance across")
+        self.decisions += 1
+        if len(replicas) == 1:
+            return replicas[0], 0
+        if self.policy is LoadBalancePolicy.ROUND_ROBIN:
+            vm = replicas[self._rr_position % len(replicas)]
+            self._rr_position += 1
+            return vm, 0
+        if self.policy is LoadBalancePolicy.LEAST_QUEUE:
+            vm = min(replicas, key=lambda replica: replica.rx_ring.occupancy)
+            return vm, 15  # one queue scan (§5.1: 15 ns)
+        if self.policy is LoadBalancePolicy.FLOW_HASH:
+            vm = replicas[flow.hash_bucket(len(replicas))]
+            return vm, 0
+        raise AssertionError(f"unhandled policy {self.policy}")

@@ -1,0 +1,788 @@
+"""The NF Manager: the per-host data plane engine (paper §4.1–4.2).
+
+One :class:`NfManager` runs on each SDNFV host.  It owns:
+
+- the host's **flow table** (Service-ID-scoped rules from the SDN tier),
+- **RX threads** (one per NIC port) that classify arriving packets and
+  dispatch descriptors into VM rings,
+- **TX threads** that collect completed descriptors from VMs, resolve the
+  NF's verdict against the flow table, and forward / drop / hand off,
+- a **Flow Controller thread** that buffers flow-table misses and asks the
+  SDN controller for rules asynchronously (31 ms off the critical path),
+- a **management loop** applying cross-layer NF messages (SkipMe /
+  RequestMe / ChangeDefault / Message), optionally validated by the SDNFV
+  Application first,
+- per-service **load balancers** and the **parallel processing** machinery
+  (descriptor fan-out, reference counting, verdict merge).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.dataplane.actions import (
+    Destination,
+    Drop,
+    NfVerdict,
+    ToPort,
+    ToService,
+    Verdict,
+    resolve_parallel_verdicts,
+)
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.descriptors import PacketDescriptor
+from repro.dataplane.flow_table import FlowTable, FlowTableEntry
+from repro.dataplane.load_balancer import LoadBalancePolicy, ServiceLoadBalancer
+from repro.dataplane.messages import (
+    ChangeDefault,
+    NfMessage,
+    RequestMe,
+    SkipMe,
+    UserMessage,
+)
+from repro.dataplane.rings import RingBuffer
+from repro.dataplane.stats import HostStats
+from repro.dataplane.vm import NfVm
+from repro.net.flow import FiveTuple, FlowMatch
+from repro.net.packet import Packet, transmission_ns
+from repro.nfs.base import NetworkFunction
+from repro.sim.randomness import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.sim.store import Store
+
+_group_ids = itertools.count()
+
+# Bound on the per-flow lookup-plan cache (entries, not bytes).
+_PLAN_CACHE_LIMIT = 65536
+
+
+class NicPort:
+    """A NIC port: a bounded RX queue and a line-rate-limited egress.
+
+    The RX queue is bounded like a real NIC descriptor ring: when the RX
+    thread falls behind, arriving frames are dropped and counted in
+    ``rx_dropped`` — this is what makes "max achievable throughput"
+    measurable (Fig. 7).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 line_rate_gbps: float = 10.0,
+                 rx_frames: int = 2048) -> None:
+        self.sim = sim
+        self.name = name
+        self.line_rate_gbps = line_rate_gbps
+        self.rx_dropped = 0
+        self.ingress = Store(sim, capacity=rx_frames)
+        self.egress = Store(sim)
+        self._tx_fifo = Store(sim)
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        # Optional sink: when set, transmitted packets are delivered to the
+        # callback instead of accumulating in the egress store.
+        self.on_egress: typing.Callable[[Packet], None] | None = None
+        sim.process(self._drain())
+
+    def _drain(self):
+        """Serialize frames onto the wire at the line rate."""
+        while True:
+            packet: Packet = yield self._tx_fifo.get()
+            yield self.sim.timeout(
+                transmission_ns(packet.size, self.line_rate_gbps))
+            self.tx_packets += 1
+            self.tx_bytes += packet.size
+            if self.on_egress is not None:
+                self.on_egress(packet)
+            else:
+                yield self.egress.put(packet)
+
+    def transmit(self, packet: Packet) -> None:
+        """Queue a frame for transmission (called by TX threads)."""
+        self._tx_fifo.try_put(packet)
+
+    def receive(self, packet: Packet) -> bool:
+        """Deliver an arriving frame into the RX queue (drop when full)."""
+        if self.ingress.try_put(packet):
+            return True
+        self.rx_dropped += 1
+        return False
+
+
+class _ParallelGroup:
+    """Bookkeeping for one packet fanned out to parallel read-only VMs."""
+
+    def __init__(self, expected: int, exit_scope: str) -> None:
+        self.expected = expected
+        self.exit_scope = exit_scope
+        self.verdicts: list[tuple[int, Verdict]] = []
+
+    def member_done(self, descriptor: PacketDescriptor) -> bool:
+        """Record one member's verdict; True when the group is complete."""
+        assert descriptor.verdict is not None
+        self.verdicts.append((descriptor.vm_priority, descriptor.verdict))
+        return len(self.verdicts) >= self.expected
+
+    def member_lost(self) -> bool:
+        """A member was dropped before reaching its VM."""
+        self.expected -= 1
+        return self.expected > 0 and len(self.verdicts) >= self.expected
+
+
+class NfManager:
+    """The data plane manager for one SDNFV host."""
+
+    def __init__(self, sim: Simulator, name: str = "host0",
+                 costs: HostCosts | None = None,
+                 controller: typing.Any | None = None,
+                 tx_threads: int = 2,
+                 load_balance: LoadBalancePolicy = (
+                     LoadBalancePolicy.LEAST_QUEUE),
+                 conflict_policy: str = "action_priority",
+                 lookup_cache: bool = True,
+                 streams: RandomStreams | None = None) -> None:
+        if tx_threads < 1:
+            raise ValueError("need at least one TX thread")
+        self.sim = sim
+        self.name = name
+        self.costs = costs or HostCosts()
+        self.controller = controller
+        self.conflict_policy = conflict_policy
+        self.lookup_cache = lookup_cache
+        self.streams = streams or RandomStreams(seed=0)
+        self.flow_table = FlowTable()
+        self.stats = HostStats()
+        self.ports: dict[str, NicPort] = {}
+        self.vms_by_service: dict[str, list[NfVm]] = {}
+        self._balancers: dict[str, ServiceLoadBalancer] = {}
+        self._lb_policy = load_balance
+        self._tx_queues = [RingBuffer(sim, name=f"{name}/tx{i}", slots=4096)
+                           for i in range(tx_threads)]
+        self._vm_tx_assignment: dict[str, RingBuffer] = {}
+        self._next_tx = 0
+        self._groups: dict[int, _ParallelGroup] = {}
+        self._parallel_chains: dict[str, list[str]] = {}
+        self._plans: dict[FiveTuple, dict] = {}
+        self._fc_queue = Store(sim)
+        self._pending_flows: dict[tuple[str, FiveTuple],
+                                  list[PacketDescriptor]] = {}
+        self._mgmt_queue = Store(sim)
+        self.policy_validator: typing.Any | None = None
+        self.message_handlers: dict[
+            str, typing.Callable[[UserMessage], None]] = {}
+        # Where UserMessages without a local handler go — the SDNFV
+        # Application attaches itself here (Fig. 2 step 5).
+        self.user_message_sink: typing.Callable[
+            [str, UserMessage], None] | None = None
+        self.uninterpreted_messages: list[UserMessage] = []
+        self.rejected_messages = 0
+        # Optional structured observability (repro.metrics.eventlog).
+        self.event_log: typing.Any | None = None
+        for queue in self._tx_queues:
+            sim.process(self._tx_loop(queue))
+        sim.process(self._fc_loop())
+        sim.process(self._mgmt_loop())
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_port(self, name: str, line_rate_gbps: float = 10.0) -> NicPort:
+        """Attach a NIC port and start its RX thread."""
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name!r}")
+        port = NicPort(self.sim, name, line_rate_gbps)
+        self.ports[name] = port
+        self.sim.process(self._rx_loop(port))
+        return port
+
+    def register_vm(self, nf: NetworkFunction, ring_slots: int = 512,
+                    priority: int = 0) -> NfVm:
+        """The §3.3 handshake: a VM advertises its Service ID (and whether
+        it is read-only) and gets its communication channels set up."""
+        vm = NfVm(self, nf, ring_slots=ring_slots, priority=priority)
+        self._check_parallel_membership(vm)
+        self.vms_by_service.setdefault(vm.service_id, []).append(vm)
+        self._balancers.setdefault(vm.service_id,
+                                   ServiceLoadBalancer(self._lb_policy))
+        self._vm_tx_assignment[vm.vm_id] = (
+            self._tx_queues[self._next_tx % len(self._tx_queues)])
+        self._next_tx += 1
+        vm.start()
+        if self.event_log is not None:
+            self.event_log.record("vm_register", host=self.name,
+                                  service=vm.service_id, vm=vm.vm_id,
+                                  read_only=vm.read_only)
+        return vm
+
+    def unregister_vm(self, vm: NfVm) -> None:
+        """Remove a VM from load balancing (it stops receiving packets)."""
+        replicas = self.vms_by_service.get(vm.service_id, [])
+        if vm in replicas:
+            replicas.remove(vm)
+
+    def install_rule(self, entry: FlowTableEntry) -> None:
+        """Install a flow rule, enforcing the read-only parallel rule."""
+        if entry.parallel:
+            self._validate_parallel_rule(entry)
+        entry.installed_at_ns = self.sim.now
+        entry.last_hit_ns = self.sim.now
+        self.flow_table.install(entry)
+        if self.event_log is not None:
+            self.event_log.record("rule_install", host=self.name,
+                                  scope=entry.scope,
+                                  default=str(entry.default_action))
+
+    def start_rule_expiry(self, interval_ns: int) -> None:
+        """Periodically evict rules whose idle/hard timeouts elapsed.
+
+        Keeps per-flow rule state bounded under flow churn (the concern
+        behind §3.4's discussion of pre-populated wildcard rules and
+        flow-table size).
+        """
+        if interval_ns <= 0:
+            raise ValueError("expiry interval must be positive")
+        self.sim.process(self._expiry_loop(interval_ns))
+
+    def _expiry_loop(self, interval_ns: int):
+        while True:
+            yield self.sim.timeout(interval_ns)
+            self.flow_table.expire(self.sim.now)
+
+    def register_parallel_chain(self, services: typing.Sequence[str]) -> None:
+        """Fuse a run of adjacent read-only services into a parallel group.
+
+        §3.3: when an NF registers as read-only, the manager "uses this
+        information to determine if the service can be run in parallel with
+        any adjacent NFs in the service graph".  After registration, any
+        packet routed to ``services[0]`` is fanned out to every member at
+        once; the merged verdict continues from the last member's rules.
+        """
+        if len(services) < 2:
+            raise ValueError("a parallel chain needs >= 2 services")
+        for service_id in services:
+            for vm in self.vms_by_service.get(service_id, ()):
+                if not vm.read_only:
+                    raise ValueError(
+                        f"service {service_id!r} has a non-read-only VM; "
+                        "cannot run in parallel")
+        self._parallel_chains[services[0]] = list(services)
+
+    def set_load_balance_policy(self, policy: LoadBalancePolicy) -> None:
+        self._lb_policy = policy
+        for balancer in self._balancers.values():
+            balancer.policy = policy
+
+    def _validate_parallel_rule(self, entry: FlowTableEntry) -> None:
+        for action in entry.actions:
+            assert isinstance(action, ToService)
+            for vm in self.vms_by_service.get(action.service_id, ()):
+                if not vm.read_only:
+                    raise ValueError(
+                        f"parallel rule includes non-read-only service "
+                        f"{action.service_id!r}")
+
+    def _check_parallel_membership(self, vm: NfVm) -> None:
+        if vm.read_only:
+            return
+        for entry in self.flow_table.entries():
+            if entry.parallel and ToService(vm.service_id) in entry.actions:
+                raise ValueError(
+                    f"service {vm.service_id!r} appears in a parallel rule "
+                    "but the registering VM is not read-only")
+
+    # ------------------------------------------------------------------
+    # Introspection (host-tier state for the hierarchy)
+    # ------------------------------------------------------------------
+    def service_queue_depths(self) -> dict[str, int]:
+        """Occupied ring slots per service (host-specific internal state)."""
+        return {service: sum(vm.rx_ring.occupancy for vm in vms)
+                for service, vms in self.vms_by_service.items()}
+
+    def start_overload_monitor(
+            self, interval_ns: int, threshold_slots: int,
+            callback: typing.Callable[[str, int], None],
+            consecutive: int = 3) -> None:
+        """Watch per-service queue depths and report sustained overload.
+
+        §3.1: NF Managers "track load levels of NFs for load balancing
+        and respond to failure or overload".  When a service's total ring
+        occupancy stays above ``threshold_slots`` for ``consecutive``
+        samples, ``callback(service_id, depth)`` fires once; it re-arms
+        after the service drains below half the threshold.
+        """
+        if interval_ns <= 0 or threshold_slots <= 0 or consecutive <= 0:
+            raise ValueError("monitor parameters must be positive")
+        self.sim.process(self._overload_loop(
+            interval_ns, threshold_slots, callback, consecutive))
+
+    def _overload_loop(self, interval_ns, threshold_slots, callback,
+                       consecutive):
+        breaches: dict[str, int] = {}
+        alarmed: set[str] = set()
+        while True:
+            yield self.sim.timeout(interval_ns)
+            for service, depth in self.service_queue_depths().items():
+                if depth > threshold_slots:
+                    breaches[service] = breaches.get(service, 0) + 1
+                    if (breaches[service] >= consecutive
+                            and service not in alarmed):
+                        alarmed.add(service)
+                        callback(service, depth)
+                else:
+                    breaches[service] = 0
+                    if depth < threshold_slots // 2:
+                        alarmed.discard(service)
+
+    def services(self) -> list[str]:
+        return list(self.vms_by_service)
+
+    # ------------------------------------------------------------------
+    # RX path
+    # ------------------------------------------------------------------
+    def _rx_loop(self, port: NicPort):
+        costs = self.costs
+        while True:
+            packet: Packet = yield port.ingress.get()
+            self.stats.record_rx(packet.size)
+            descriptor = PacketDescriptor(packet=packet, scope=port.name,
+                                          ingress_at=self.sim.now)
+            entry, lookup_cost = self._classify(descriptor)
+            yield self.sim.timeout(costs.rx_service_ns + lookup_cost)
+            if entry is None:
+                self._fc_queue.try_put(descriptor)
+                continue
+            extra = self._follow_entry(descriptor, entry,
+                                       entry.default_action)
+            if extra:
+                yield self.sim.timeout(extra)
+
+    def _classify(self,
+                  descriptor: PacketDescriptor
+                  ) -> tuple[FlowTableEntry | None, int]:
+        """Find the rule for the descriptor's (scope, flow).
+
+        Returns (entry, service_cost_ns).  With the descriptor lookup cache
+        enabled (§4.2), hits on the per-flow plan are free; otherwise each
+        hop pays header extraction + a hash lookup.
+        """
+        flow = descriptor.packet.flow
+        generation = self.flow_table.generation
+        if self.lookup_cache:
+            plan = self._plans.get(flow)
+            if plan is not None and plan["generation"] == generation:
+                cached = plan["entries"].get(descriptor.scope)
+                if cached is not None:
+                    descriptor.cache_lookup(cached, generation)
+                    return cached, 0
+            elif plan is not None:
+                del self._plans[flow]
+        cost = self.costs.header_extract_ns + self.costs.flow_lookup_ns
+        entry = self.flow_table.lookup(descriptor.scope, flow,
+                                       now_ns=self.sim.now)
+        if entry is not None:
+            descriptor.cache_lookup(entry, generation)
+            if self.lookup_cache:
+                if len(self._plans) >= _PLAN_CACHE_LIMIT:
+                    self._plans.pop(next(iter(self._plans)))
+                plan = self._plans.setdefault(
+                    flow, {"generation": generation, "entries": {}})
+                if plan["generation"] != generation:
+                    plan["generation"] = generation
+                    plan["entries"] = {}
+                plan["entries"][descriptor.scope] = entry
+        return entry, cost
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _follow_entry(self, descriptor: PacketDescriptor,
+                      entry: FlowTableEntry,
+                      destination: Destination) -> int:
+        """Dispatch a descriptor along ``destination`` under ``entry``.
+
+        Returns the extra service cost (fan-out copies, queue scans) the
+        calling thread must charge.
+        """
+        if entry.parallel and destination == entry.default_action:
+            return self._fan_out(descriptor, entry)
+        return self._route(descriptor, destination)
+
+    def _route(self, descriptor: PacketDescriptor,
+               destination: Destination) -> int:
+        if isinstance(destination, Drop):
+            self._drop(descriptor, "dropped_by_nf")
+            return 0
+        if isinstance(destination, ToPort):
+            self._egress(descriptor, destination.port)
+            return 0
+        assert isinstance(destination, ToService)
+        chain = self._parallel_chains.get(destination.service_id)
+        if chain is not None and descriptor.group_id is None:
+            return self._fan_out_members(descriptor, chain)
+        replicas = self.vms_by_service.get(destination.service_id, ())
+        if not replicas:
+            self.stats.dropped_no_vm += 1
+            self._release(descriptor.packet)
+            return 0
+        balancer = self._balancers[destination.service_id]
+        vm, scan_cost = balancer.choose(replicas, descriptor.packet.flow)
+        self.stats.record_service(destination.service_id)
+        if not vm.rx_ring.try_enqueue(descriptor):
+            self.stats.dropped_ring_full += 1
+            self._release(descriptor.packet)
+        return scan_cost
+
+    def _fan_out(self, descriptor: PacketDescriptor,
+                 entry: FlowTableEntry) -> int:
+        """Copy a descriptor to every VM in a parallel action list."""
+        members = [action.service_id for action in entry.actions
+                   if isinstance(action, ToService)]
+        return self._fan_out_members(descriptor, members)
+
+    def _fan_out_members(self, descriptor: PacketDescriptor,
+                         members: typing.Sequence[str]) -> int:
+        group_id = next(_group_ids)
+        group = _ParallelGroup(expected=len(members),
+                               exit_scope=members[-1])
+        self._groups[group_id] = group
+        self.stats.parallel_groups += 1
+        descriptor.packet.add_reference(len(members) - 1)
+        cost = self.costs.parallel_fanout_ns * (len(members) - 1)
+        for index, service_id in enumerate(members):
+            member = descriptor.fork(scope=service_id, group_id=group_id,
+                                     group_index=index)
+            replicas = self.vms_by_service.get(service_id, ())
+            if not replicas:
+                self.stats.dropped_no_vm += 1
+                self._release(descriptor.packet)
+                group.member_lost()
+                continue
+            balancer = self._balancers[service_id]
+            vm, scan_cost = balancer.choose(replicas,
+                                            descriptor.packet.flow)
+            cost += scan_cost
+            self.stats.record_service(service_id)
+            if not vm.rx_ring.try_enqueue(member):
+                self.stats.dropped_ring_full += 1
+                self._release(descriptor.packet)
+                group.member_lost()
+        if group.expected <= 0:
+            del self._groups[group_id]
+        return cost
+
+    # ------------------------------------------------------------------
+    # TX path
+    # ------------------------------------------------------------------
+    def tx_submit(self, descriptor: PacketDescriptor, vm: NfVm) -> None:
+        """Called by a VM when its NF finished with a packet."""
+        queue = self._vm_tx_assignment[vm.vm_id]
+        if not queue.try_enqueue(descriptor):
+            self.stats.dropped_ring_full += 1
+            self._release(descriptor.packet)
+
+    def _tx_loop(self, queue: RingBuffer):
+        costs = self.costs
+        while True:
+            descriptor: PacketDescriptor = yield queue.get()
+            yield self.sim.timeout(costs.tx_service_ns)
+            if descriptor.group_id is not None:
+                merged = self._absorb_group_member(descriptor)
+                if merged is None:
+                    continue
+                descriptor, member_count = merged
+                yield self.sim.timeout(
+                    costs.parallel_merge_ns * max(0, member_count - 1))
+            assert descriptor.verdict is not None
+            entry, lookup_cost = self._classify(descriptor)
+            if lookup_cost:
+                yield self.sim.timeout(lookup_cost)
+            extra = self._resolve_verdict(descriptor, entry)
+            if extra:
+                yield self.sim.timeout(extra)
+
+    def _absorb_group_member(
+            self, descriptor: PacketDescriptor
+    ) -> tuple[PacketDescriptor, int] | None:
+        """Fold one parallel member in; emit the merged descriptor when all
+        members have reported."""
+        group = self._groups.get(descriptor.group_id)
+        if group is None:  # group finalized by member loss accounting
+            self._release(descriptor.packet)
+            return None
+        if not group.member_done(descriptor):
+            self._release(descriptor.packet)
+            return None
+        del self._groups[descriptor.group_id]
+        verdict = resolve_parallel_verdicts(group.verdicts,
+                                            policy=self.conflict_policy)
+        merged = PacketDescriptor(
+            packet=descriptor.packet,
+            scope=group.exit_scope,
+            verdict=verdict,
+            ingress_at=descriptor.ingress_at,
+        )
+        return merged, len(group.verdicts)
+
+    def _resolve_verdict(self, descriptor: PacketDescriptor,
+                         entry: FlowTableEntry | None) -> int:
+        verdict = descriptor.verdict
+        assert verdict is not None
+        if verdict.kind is NfVerdict.DISCARD:
+            self._drop(descriptor, "dropped_by_nf")
+            return 0
+        if entry is None:
+            # Mid-chain miss: ask the control plane like any other miss.
+            self._fc_queue.try_put(descriptor)
+            return 0
+        if verdict.kind is NfVerdict.SEND:
+            destination = verdict.destination
+            assert destination is not None
+            if not entry.allows(destination):
+                # §3.4: Send-to "is only permitted if the destination is one
+                # of the allowable next hops listed in the flow table".
+                self.stats.policy_violations += 1
+                destination = entry.default_action
+            return self._follow_entry(descriptor, entry, destination)
+        return self._follow_entry(descriptor, entry, entry.default_action)
+
+    # ------------------------------------------------------------------
+    # Flow Controller thread (SDN miss path, §4.1)
+    # ------------------------------------------------------------------
+    def _fc_loop(self):
+        while True:
+            descriptor: PacketDescriptor = yield self._fc_queue.get()
+            key = (descriptor.scope, descriptor.packet.flow)
+            if key in self._pending_flows:
+                self._pending_flows[key].append(descriptor)
+                continue
+            self._pending_flows[key] = [descriptor]
+            self.stats.sdn_requests += 1
+            if self.event_log is not None:
+                self.event_log.record("sdn_request", host=self.name,
+                                      scope=descriptor.scope,
+                                      flow=str(descriptor.packet.flow))
+            # Resolve each flow in its own process so one slow controller
+            # round trip doesn't head-of-line-block other misses.
+            self.sim.process(self._resolve_miss(key))
+
+    def _resolve_miss(self, key: tuple[str, FiveTuple]):
+        scope, flow = key
+        if self.controller is None:
+            for descriptor in self._pending_flows.pop(key):
+                self._drop(descriptor, "dropped_no_rule")
+            return
+        try:
+            rules = yield self.controller.flow_request(self.name, scope,
+                                                       flow)
+        except Exception:  # noqa: BLE001 - controller fault isolation
+            # The controller (or its app) failed this request: drop the
+            # buffered packets and keep the data plane alive.
+            for descriptor in self._pending_flows.pop(key):
+                self._drop(descriptor, "dropped_no_rule")
+            return
+        for rule in rules or ():
+            self.install_rule(rule)
+        buffered = self._pending_flows.pop(key)
+        for descriptor in buffered:
+            entry, _cost = self._classify(descriptor)
+            if entry is None:
+                self._drop(descriptor, "dropped_no_rule")
+            else:
+                self._follow_entry(descriptor, entry, entry.default_action)
+
+    # ------------------------------------------------------------------
+    # Cross-layer messages (§3.4)
+    # ------------------------------------------------------------------
+    def submit_nf_message(self, message: NfMessage) -> None:
+        """Entry point for NFs (via NfContext): queue a message."""
+        self._mgmt_queue.try_put(message)
+
+    def _mgmt_loop(self):
+        while True:
+            message: NfMessage = yield self._mgmt_queue.get()
+            if self.policy_validator is not None:
+                approved = yield self.policy_validator.validate(self.name,
+                                                                message)
+                if not approved:
+                    self.rejected_messages += 1
+                    if self.event_log is not None:
+                        self.event_log.record(
+                            "message_rejected", host=self.name,
+                            kind=type(message).__name__,
+                            sender=message.sender_service)
+                    continue
+            if self.event_log is not None:
+                self.event_log.record("message_applied", host=self.name,
+                                      kind=type(message).__name__,
+                                      sender=message.sender_service)
+            self.apply_message(message)
+
+    def apply_message(self, message: NfMessage) -> None:
+        """Apply an (already validated) cross-layer message to the table."""
+        if isinstance(message, ChangeDefault):
+            self._apply_change_default(message)
+        elif isinstance(message, SkipMe):
+            self._apply_skip_me(message)
+        elif isinstance(message, RequestMe):
+            self._apply_request_me(message)
+        elif isinstance(message, UserMessage):
+            handler = self.message_handlers.get(message.sender_service)
+            if handler is not None:
+                handler(message)
+            elif self.user_message_sink is not None:
+                self.user_message_sink(self.name, message)
+            else:
+                self.uninterpreted_messages.append(message)
+        else:
+            raise TypeError(f"unknown message type {type(message).__name__}")
+
+    def _apply_change_default(self, message: ChangeDefault) -> None:
+        destination = _parse_target(message.target)
+        self._rewrite_defaults(
+            scope=message.service, flows=message.flows,
+            new_default=destination)
+
+    def _apply_skip_me(self, message: SkipMe) -> None:
+        bypass = ToService(message.service)
+        bypass_default = self._scope_default(message.service, message.flows)
+        if bypass_default is None:
+            return  # S has no rules; nothing routes through it anyway
+        exact = message.flows.exact_key()
+        for scope in list(self.flow_table.scopes()):
+            if scope == message.service:
+                continue
+            if exact is not None:
+                entry = self.flow_table.lookup(scope, exact)
+                if entry is not None and entry.default_action == bypass:
+                    specialized = self.flow_table.specialize(scope, exact)
+                    self.install_rule(
+                        specialized.with_default(bypass_default))
+                continue
+            for entry in list(self.flow_table.entries(scope)):
+                if (entry.default_action == bypass
+                        and message.flows.subsumes(entry.match)):
+                    self.install_rule(entry.with_default(bypass_default))
+
+    def _apply_request_me(self, message: RequestMe) -> None:
+        """Rewrite every rule (including per-flow specializations) that has
+        an edge to the requesting service so it becomes the default."""
+        wanted = ToService(message.service)
+        exact = message.flows.exact_key()
+        for scope in list(self.flow_table.scopes()):
+            if scope == message.service:
+                continue
+            if exact is not None:
+                entry = self.flow_table.lookup(scope, exact)
+                if (entry is not None and wanted in entry.actions
+                        and entry.default_action != wanted):
+                    specialized = self.flow_table.specialize(scope, exact)
+                    self.install_rule(specialized.with_default(wanted))
+                continue
+            for entry in list(self.flow_table.entries(scope)):
+                if (wanted in entry.actions
+                        and entry.default_action != wanted
+                        and message.flows.subsumes(entry.match)):
+                    self.install_rule(entry.with_default(wanted))
+
+    def _scope_default(self, scope: str,
+                       flows: FlowMatch) -> Destination | None:
+        """The default action service ``scope`` applies to ``flows``."""
+        exact = flows.exact_key()
+        if exact is not None:
+            entry = self.flow_table.lookup(scope, exact)
+            return entry.default_action if entry else None
+        entries = self.flow_table.entries(scope)
+        if not entries:
+            return None
+        # Prefer the rule whose match equals F, else the scope's broadest.
+        for entry in entries:
+            if entry.match == flows:
+                return entry.default_action
+        broadest = min(entries, key=lambda rule: rule.match.specificity)
+        return broadest.default_action
+
+    def _rewrite_defaults(self, scope: str, flows: FlowMatch,
+                          new_default: Destination) -> None:
+        """Make ``new_default`` the default for ``flows`` within ``scope``.
+
+        Exact flows get a specialised per-flow rule (cloning the wildcard
+        template so the change doesn't leak to other flows); wildcard flows
+        rewrite matching rules in place, or install an overriding rule at
+        higher priority when no rule has that exact match.
+        """
+        exact = flows.exact_key()
+        if exact is not None:
+            entry = self.flow_table.specialize(scope, exact)
+            if entry is None:
+                return
+            self.install_rule(entry.with_default(new_default))
+            return
+        entries = self.flow_table.entries(scope)
+        # Rules entirely inside F (including per-flow specializations) are
+        # rewritten in place.
+        rewritten = False
+        for entry in entries:
+            if flows.subsumes(entry.match):
+                self.install_rule(entry.with_default(new_default))
+                rewritten = True
+        # Broader rules that merely overlap F get a higher-priority
+        # override carved out for the F region.
+        broader = [entry for entry in entries
+                   if not flows.subsumes(entry.match)
+                   and _match_covers(entry.match, flows)]
+        if broader:
+            template = max(broader, key=lambda rule:
+                           (rule.priority, rule.match.specificity))
+            override = FlowTableEntry(
+                scope=scope, match=flows,
+                actions=template.with_default(new_default).actions,
+                parallel=template.parallel,
+                priority=template.priority + 1)
+            self.install_rule(override)
+        elif not rewritten:
+            return
+
+    # ------------------------------------------------------------------
+    # Terminal actions
+    # ------------------------------------------------------------------
+    def _egress(self, descriptor: PacketDescriptor, port_name: str) -> None:
+        port = self.ports.get(port_name)
+        if port is None:
+            self._drop(descriptor, "dropped_no_rule")
+            return
+        self.stats.record_tx(port_name, descriptor.packet.size)
+        self._release(descriptor.packet)
+        port.transmit(descriptor.packet)
+
+    def _drop(self, descriptor: PacketDescriptor, counter: str) -> None:
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        self._release(descriptor.packet)
+
+    @staticmethod
+    def _release(packet: Packet) -> None:
+        packet.release()
+
+
+def _parse_target(target: str) -> Destination:
+    """ChangeDefault targets: "port:<name>", "drop", or a Service ID."""
+    if target == "drop":
+        return Drop()
+    if target.startswith("port:"):
+        return ToPort(target[len("port:"):])
+    return ToService(target)
+
+
+def _match_covers(rule_match: FlowMatch, flows: FlowMatch) -> bool:
+    """Whether a rule's match could apply to flows selected by ``flows``.
+
+    Conservative overlap test: exact F is checked precisely; wildcard F is
+    treated as overlapping unless both constrain the same field to
+    different values.
+    """
+    exact = flows.exact_key()
+    if exact is not None:
+        return rule_match.matches(exact)
+    for field in ("src_ip", "dst_ip", "protocol", "src_port", "dst_port"):
+        ours, theirs = getattr(rule_match, field), getattr(flows, field)
+        if ours is not None and theirs is not None and ours != theirs:
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""SPSC ring buffers connecting the NF Manager and VM threads.
+
+Paper §4.1: "we implement all communication in our system using asynchronous
+ring buffers ... Since each ring buffer has a single data producer thread
+and a single consumer thread, no locks are required."  In the simulation a
+ring is a bounded FIFO; what we keep from the real design is the *bounded*
+capacity (packets are dropped when a VM falls behind — the load-balancing
+experiments depend on this) and the single-consumer discipline.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event
+from repro.sim.store import Store
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+DEFAULT_RING_SLOTS = 512
+
+
+class RingBuffer:
+    """A bounded descriptor queue with drop-on-full producer semantics."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 slots: int = DEFAULT_RING_SLOTS) -> None:
+        if slots <= 0:
+            raise ValueError("ring must have at least one slot")
+        self.name = name
+        self.slots = slots
+        self._store = Store(sim, capacity=slots)
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def occupancy(self) -> int:
+        """Occupied slots — what queue-length load balancing inspects."""
+        return len(self._store)
+
+    @property
+    def is_full(self) -> bool:
+        return self._store.is_full
+
+    def try_enqueue(self, item: typing.Any) -> bool:
+        """Producer side: non-blocking put; False means the packet dropped."""
+        if self._store.try_put(item):
+            self.enqueued += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def get(self) -> Event:
+        """Consumer side: event yielding the next descriptor."""
+        return self._store.get()
+
+    def try_get(self) -> typing.Any | None:
+        return self._store.try_get()

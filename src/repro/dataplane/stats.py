@@ -1,0 +1,60 @@
+"""Host-level statistics: what the NF Manager tier knows (paper §3.1).
+
+The "host-specific internal state" of the hierarchy: queue occupancies,
+packet/byte counters, drops, per-service activity.  The SDNFV Application
+reads these through the manager rather than tracking them centrally.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+
+@dataclasses.dataclass
+class HostStats:
+    """Counters maintained by one NF Manager."""
+
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    dropped_ring_full: int = 0
+    dropped_by_nf: int = 0
+    dropped_no_rule: int = 0
+    dropped_no_vm: int = 0
+    policy_violations: int = 0
+    sdn_requests: int = 0
+    parallel_groups: int = 0
+    per_service_packets: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter)
+    per_port_tx_bytes: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter)
+
+    def record_rx(self, size: int) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += size
+
+    def record_tx(self, port: str, size: int) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += size
+        self.per_port_tx_bytes[port] += size
+
+    def record_service(self, service_id: str) -> None:
+        self.per_service_packets[service_id] += 1
+
+    def summary(self) -> dict[str, int]:
+        """Scalar counters as a plain dict (for reports and tests)."""
+        return {
+            "rx_packets": self.rx_packets,
+            "rx_bytes": self.rx_bytes,
+            "tx_packets": self.tx_packets,
+            "tx_bytes": self.tx_bytes,
+            "dropped_ring_full": self.dropped_ring_full,
+            "dropped_by_nf": self.dropped_by_nf,
+            "dropped_no_rule": self.dropped_no_rule,
+            "dropped_no_vm": self.dropped_no_vm,
+            "policy_violations": self.policy_violations,
+            "sdn_requests": self.sdn_requests,
+            "parallel_groups": self.parallel_groups,
+        }

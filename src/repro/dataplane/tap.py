@@ -1,0 +1,88 @@
+"""Packet taps: pcap-style capture at host ports.
+
+A tap observes frames at a NIC port and records them as
+:class:`~repro.workloads.trace.TraceRecord` rows, so a captured stream
+can be saved to CSV and replayed later with
+:class:`~repro.workloads.trace.TraceReplayer` — capture on one host,
+replay against another configuration, compare behaviour.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataplane.host import NfvHost
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import TraceRecord
+
+
+class PacketTap:
+    """Records frames seen at one observation point."""
+
+    def __init__(self, sim: Simulator, name: str = "tap",
+                 max_records: int = 1_000_000) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.sim = sim
+        self.name = name
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.truncated = 0
+
+    def observe(self, packet: Packet) -> None:
+        if len(self.records) >= self.max_records:
+            self.truncated += 1
+            return
+        self.records.append(TraceRecord(
+            timestamp_ns=self.sim.now, flow=packet.flow,
+            size=packet.size, payload=packet.payload))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_trace(self) -> list[TraceRecord]:
+        """The capture, rebased so the first frame is at t=0."""
+        if not self.records:
+            return []
+        base = self.records[0].timestamp_ns
+        return [TraceRecord(timestamp_ns=record.timestamp_ns - base,
+                            flow=record.flow, size=record.size,
+                            payload=record.payload)
+                for record in self.records]
+
+    # ------------------------------------------------------------------
+    # Attachment helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def on_egress(cls, sim: Simulator, host: NfvHost,
+                  port_name: str, **kw: typing.Any) -> "PacketTap":
+        """Tap a port's egress, chaining any existing observer."""
+        tap = cls(sim, name=f"{host.name}:{port_name}/egress", **kw)
+        port = host.port(port_name)
+        downstream = port.on_egress
+
+        def observe_then_forward(packet: Packet) -> None:
+            tap.observe(packet)
+            if downstream is not None:
+                downstream(packet)
+
+        port.on_egress = observe_then_forward
+        return tap
+
+    @classmethod
+    def on_ingress(cls, sim: Simulator, host: NfvHost,
+                   port_name: str, **kw: typing.Any) -> "PacketTap":
+        """Tap frames *accepted* into a port's RX ring."""
+        tap = cls(sim, name=f"{host.name}:{port_name}/ingress", **kw)
+        port = host.port(port_name)
+        original_receive = port.receive
+
+        def receive_and_observe(packet: Packet) -> bool:
+            accepted = original_receive(packet)
+            if accepted:
+                tap.observe(packet)
+            return accepted
+
+        port.receive = receive_and_observe  # type: ignore[method-assign]
+        return tap

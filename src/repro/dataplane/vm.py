@@ -1,0 +1,91 @@
+"""The simulated NF VM: one thread polling its RX ring, running the NF.
+
+Paper §4.3: each VM runs a single network function as a user-space
+application; each core runs a thread with its own ring buffer pair shared
+with the host's RX/TX threads.  Here one :class:`NfVm` models one such
+thread (replicas of a service are separate ``NfVm`` instances, which is
+also how the load balancer sees them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.descriptors import PacketDescriptor
+from repro.dataplane.rings import DEFAULT_RING_SLOTS, RingBuffer
+from repro.nfs.base import NetworkFunction, NfContext
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane.manager import NfManager
+
+_vm_ids = itertools.count()
+
+
+class NfVm:
+    """One VM thread hosting a network function."""
+
+    def __init__(self, manager: "NfManager", nf: NetworkFunction,
+                 ring_slots: int = DEFAULT_RING_SLOTS,
+                 priority: int = 0) -> None:
+        self.manager = manager
+        self.sim = manager.sim
+        self.nf = nf
+        self.vm_id = f"vm{next(_vm_ids)}-{nf.service_id}"
+        self.priority = priority
+        self.rx_ring = RingBuffer(self.sim, name=f"{self.vm_id}/rx",
+                                  slots=ring_slots)
+        self.packets_processed = 0
+        self.busy_ns = 0
+        self.ctx = NfContext(
+            sim=self.sim,
+            service_id=nf.service_id,
+            vm_id=self.vm_id,
+            submit_message=manager.submit_nf_message,
+            rng=manager.streams.stream(self.vm_id),
+        )
+        self._process = None
+
+    @property
+    def service_id(self) -> str:
+        return self.nf.service_id
+
+    @property
+    def read_only(self) -> bool:
+        return self.nf.read_only
+
+    def start(self) -> None:
+        """Begin the VM's packet loop (called at registration)."""
+        if self._process is not None:
+            raise RuntimeError(f"{self.vm_id} already started")
+        self.nf.on_register(self.ctx)
+        self._process = self.sim.process(self._run())
+
+    def _run(self):
+        costs: HostCosts = self.manager.costs
+        while True:
+            descriptor: PacketDescriptor = yield self.rx_ring.get()
+            work = (costs.vm_service_ns
+                    + self.nf.processing_cost_ns(descriptor.packet, self.ctx))
+            yield self.sim.timeout(work)
+            self.busy_ns += work
+            self.packets_processed += 1
+            descriptor.verdict = self.nf.handle_packet(descriptor.packet,
+                                                       self.ctx)
+            descriptor.scope = self.service_id
+            descriptor.vm_priority = self.priority
+            # Ring hops + poll-batching pickup are latency, not occupancy:
+            # hand the descriptor to the TX tier after a non-blocking delay.
+            # Parallel-group members are staggered by their index, modeling
+            # cache contention on the shared packet buffer.
+            delay = costs.vm_pipeline_latency_ns
+            if descriptor.group_id is not None:
+                delay += costs.parallel_stagger_ns * descriptor.group_index
+            self.sim.schedule(
+                delay,
+                lambda desc=descriptor: self.manager.tx_submit(desc, self))
+
+    def __repr__(self) -> str:
+        return (f"<NfVm {self.vm_id} queue={self.rx_ring.occupancy} "
+                f"processed={self.packets_processed}>")

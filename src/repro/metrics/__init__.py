@@ -1,0 +1,17 @@
+"""Measurement instrumentation: latency, throughput, time series, reports."""
+
+from repro.metrics.eventlog import ControlEvent, EventLog
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.reporting import comparison_table, series_table
+from repro.metrics.throughput import ThroughputMeter
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "ControlEvent",
+    "EventLog",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "TimeSeries",
+    "comparison_table",
+    "series_table",
+]

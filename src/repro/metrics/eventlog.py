@@ -1,0 +1,81 @@
+"""A structured control-plane event log.
+
+Fig. 2's numbered steps, as data: rule installs, cross-layer messages,
+VM launches, alarms, validation rejections.  Attach one log to the
+managers / app / orchestrator (``component.event_log = log``) and every
+control-plane action leaves a timestamped record — the observability
+surface a real deployment of this system would need, and a convenient
+assertion target in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim.simulator import Simulator
+from repro.sim.units import S
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlEvent:
+    """One control-plane action."""
+
+    timestamp_ns: int
+    category: str
+    host: str
+    detail: tuple[tuple[str, typing.Any], ...]
+
+    def get(self, key: str, default: typing.Any = None) -> typing.Any:
+        for name, value in self.detail:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{name}={value}" for name, value in self.detail)
+        return (f"[{self.timestamp_ns / S:10.6f}s] "
+                f"{self.category:<18} host={self.host or '-':<8} {fields}")
+
+
+class EventLog:
+    """Append-only, queryable log of control events."""
+
+    def __init__(self, sim: Simulator, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.events: list[ControlEvent] = []
+        self.dropped = 0
+
+    def record(self, category: str, host: str = "",
+               **detail: typing.Any) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(ControlEvent(
+            timestamp_ns=self.sim.now, category=category, host=host,
+            detail=tuple(sorted(detail.items()))))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(self, category: str | None = None,
+               host: str | None = None,
+               since_ns: int = 0) -> list[ControlEvent]:
+        return [event for event in self.events
+                if (category is None or event.category == category)
+                and (host is None or event.host == host)
+                and event.timestamp_ns >= since_ns]
+
+    def categories(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def format(self, **filter_kw: typing.Any) -> str:
+        """Readable timeline (optionally filtered)."""
+        return "\n".join(str(event)
+                         for event in self.filter(**filter_kw))

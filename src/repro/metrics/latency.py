@@ -1,0 +1,68 @@
+"""Round-trip latency collection: means, percentiles, CDFs."""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.sim.units import US
+
+
+class LatencyRecorder:
+    """Accumulates latency samples (nanoseconds)."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples_ns(self) -> list[int]:
+        return list(self._samples)
+
+    def _require_samples(self) -> np.ndarray:
+        if not self._samples:
+            raise ValueError(f"{self.name}: no samples recorded")
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def mean_us(self) -> float:
+        return float(self._require_samples().mean()) / US
+
+    def min_us(self) -> float:
+        return float(self._require_samples().min()) / US
+
+    def max_us(self) -> float:
+        return float(self._require_samples().max()) / US
+
+    def percentile_us(self, percentile: float) -> float:
+        return float(np.percentile(self._require_samples(),
+                                   percentile)) / US
+
+    def cdf_points(self, points: int = 100
+                   ) -> list[tuple[float, float]]:
+        """(latency_us, cumulative_fraction) pairs for CDF plots (Fig. 6)."""
+        data = np.sort(self._require_samples()) / US
+        fractions = np.arange(1, len(data) + 1) / len(data)
+        if len(data) <= points:
+            return list(zip(data.tolist(), fractions.tolist()))
+        indices = np.linspace(0, len(data) - 1, points).astype(int)
+        return list(zip(data[indices].tolist(),
+                        fractions[indices].tolist()))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(len(self._samples)),
+            "avg_us": self.mean_us(),
+            "min_us": self.min_us(),
+            "max_us": self.max_us(),
+            "p50_us": self.percentile_us(50),
+            "p99_us": self.percentile_us(99),
+        }

@@ -1,0 +1,54 @@
+"""Formatting helpers for paper-vs-measured benchmark reports."""
+
+from __future__ import annotations
+
+import typing
+
+
+def comparison_table(title: str,
+                     rows: typing.Sequence[tuple[str, str, str]],
+                     headers: tuple[str, str, str] = (
+                         "metric", "paper", "measured")) -> str:
+    """Three-column paper-vs-measured table as fixed-width text."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def fmt(cells: typing.Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(cells, widths))
+
+    lines = [f"== {title} ==", fmt(headers),
+             fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def series_table(title: str, columns: dict[str, typing.Sequence],
+                 float_format: str = "{:.3f}") -> str:
+    """Multi-column numeric series (one row per index position)."""
+    names = list(columns)
+    length = len(columns[names[0]])
+    for name in names:
+        if len(columns[name]) != length:
+            raise ValueError("all series must share a length")
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[render(columns[name][row]) for name in names]
+             for row in range(length)]
+    widths = [max(len(name), *(len(row[index]) for row in cells))
+              if cells else len(name)
+              for index, name in enumerate(names)]
+    lines = [f"== {title} ==",
+             "  ".join(name.ljust(width)
+                       for name, width in zip(names, widths)),
+             "  ".join("-" * width for width in widths)]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""A minimal (time, value) series with resampling, for timeline plots."""
+
+from __future__ import annotations
+
+import bisect
+import typing
+
+from repro.sim.units import S
+
+
+class TimeSeries:
+    """Append-only (timestamp_ns, value) series."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: list[int] = []
+        self._values: list[float] = []
+
+    def append(self, now_ns: int, value: float) -> None:
+        if self._times and now_ns < self._times[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._times.append(now_ns)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def points(self) -> list[tuple[float, float]]:
+        """(seconds, value) pairs."""
+        return [(t / S, v) for t, v in zip(self._times, self._values)]
+
+    def value_at(self, now_ns: int) -> float:
+        """Step interpolation: the last value at or before ``now_ns``."""
+        if not self._times:
+            raise ValueError(f"{self.name}: empty series")
+        index = bisect.bisect_right(self._times, now_ns) - 1
+        if index < 0:
+            raise ValueError(f"{self.name}: no value at {now_ns}")
+        return self._values[index]
+
+    def window_mean(self, start_ns: int, stop_ns: int) -> float:
+        lo = bisect.bisect_left(self._times, start_ns)
+        hi = bisect.bisect_left(self._times, stop_ns)
+        if hi <= lo:
+            raise ValueError("no points in window")
+        window = self._values[lo:hi]
+        return sum(window) / len(window)

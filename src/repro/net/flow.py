@@ -1,0 +1,145 @@
+"""Flow identity (5-tuple) and wildcard flow matching.
+
+``FiveTuple`` is the exact identity of a flow; ``FlowMatch`` is an OpenFlow
+style match where any field may be wildcarded (None) and the source IP may
+be a prefix — the paper's DDoS detector aggregates traffic by IP prefix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.net.headers import ip_to_int
+
+
+@dataclasses.dataclass(frozen=True)
+class FiveTuple:
+    """Exact flow identity: (src_ip, dst_ip, protocol, src_port, dst_port)."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int
+    src_port: int
+    dst_port: int
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse direction of this flow (for replies)."""
+        return FiveTuple(src_ip=self.dst_ip, dst_ip=self.src_ip,
+                         protocol=self.protocol, src_port=self.dst_port,
+                         dst_port=self.src_port)
+
+    def hash_bucket(self, buckets: int) -> int:
+        """Deterministic bucket for flow-hash load balancing (RSS-style)."""
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        key = (ip_to_int(self.src_ip), ip_to_int(self.dst_ip),
+               self.protocol, self.src_port, self.dst_port)
+        value = 1469598103934665603
+        for field in key:
+            value ^= field
+            value = (value * 1099511628211) % (1 << 63)
+        return value % buckets
+
+    def __str__(self) -> str:
+        return (f"{self.src_ip}:{self.src_port}->"
+                f"{self.dst_ip}:{self.dst_port}/{self.protocol}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowMatch:
+    """Wildcard-capable match over a 5-tuple.
+
+    ``None`` fields match anything.  ``src_prefix_bits`` restricts the
+    source-IP comparison to the top N bits (requires ``src_ip``).
+    """
+
+    src_ip: str | None = None
+    dst_ip: str | None = None
+    protocol: int | None = None
+    src_port: int | None = None
+    dst_port: int | None = None
+    src_prefix_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_prefix_bits <= 32:
+            raise ValueError("src_prefix_bits must be in [0, 32]")
+        if self.src_prefix_bits < 32 and self.src_ip is None:
+            raise ValueError("src_prefix_bits needs src_ip")
+
+    @classmethod
+    def exact(cls, flow: FiveTuple) -> "FlowMatch":
+        """An exact match for one flow."""
+        return cls(src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                   protocol=flow.protocol, src_port=flow.src_port,
+                   dst_port=flow.dst_port)
+
+    @classmethod
+    def any(cls) -> "FlowMatch":
+        """The ``*`` rule: matches every flow."""
+        return cls()
+
+    @property
+    def is_exact(self) -> bool:
+        return (None not in (self.src_ip, self.dst_ip, self.protocol,
+                             self.src_port, self.dst_port)
+                and self.src_prefix_bits == 32)
+
+    @property
+    def specificity(self) -> int:
+        """How many fields are constrained (for priority tie-breaks)."""
+        fields = (self.src_ip, self.dst_ip, self.protocol,
+                  self.src_port, self.dst_port)
+        return sum(1 for field in fields if field is not None)
+
+    def matches(self, flow: FiveTuple) -> bool:
+        """True when ``flow`` falls inside this match."""
+        if self.src_ip is not None:
+            if not _prefix_equal(self.src_ip, flow.src_ip,
+                                 self.src_prefix_bits):
+                return False
+        if self.dst_ip is not None and self.dst_ip != flow.dst_ip:
+            return False
+        if self.protocol is not None and self.protocol != flow.protocol:
+            return False
+        if self.src_port is not None and self.src_port != flow.src_port:
+            return False
+        if self.dst_port is not None and self.dst_port != flow.dst_port:
+            return False
+        return True
+
+    def subsumes(self, other: "FlowMatch") -> bool:
+        """True when every flow matched by ``other`` is matched by self.
+
+        Used by cross-layer messages: a message whose flow criteria
+        subsumes a rule's match may rewrite that rule without affecting
+        flows outside the criteria.
+        """
+        for field in ("dst_ip", "protocol", "src_port", "dst_port"):
+            mine = getattr(self, field)
+            theirs = getattr(other, field)
+            if mine is not None and (theirs is None or theirs != mine):
+                return False
+        if self.src_ip is not None:
+            if other.src_ip is None:
+                return False
+            if other.src_prefix_bits < self.src_prefix_bits:
+                return False
+            if not _prefix_equal(self.src_ip, other.src_ip,
+                                 self.src_prefix_bits):
+                return False
+        return True
+
+    def exact_key(self) -> FiveTuple | None:
+        """The FiveTuple if this match is exact, else None."""
+        if not self.is_exact:
+            return None
+        return FiveTuple(src_ip=self.src_ip, dst_ip=self.dst_ip,
+                         protocol=self.protocol, src_port=self.src_port,
+                         dst_port=self.dst_port)
+
+
+def _prefix_equal(pattern_ip: str, flow_ip: str, bits: int) -> bool:
+    if bits == 0:
+        return True
+    shift = 32 - bits
+    return (ip_to_int(pattern_ip) >> shift) == (ip_to_int(flow_ip) >> shift)

@@ -1,0 +1,106 @@
+"""A minimal HTTP payload model for application-aware NFs.
+
+The paper's Video Flow Detector "analyzes HTTP headers of packets to detect
+the content type being transmitted in each flow" and the IDS "looks for
+malicious signatures such as SQL exploits in HTTP packets".  This module
+provides request/response payload objects plus a text serialisation so NFs
+can do genuine parsing rather than peeking at python attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+VIDEO_CONTENT_TYPES = frozenset({
+    "video/mp4",
+    "video/webm",
+    "video/mpeg",
+    "application/x-mpegURL",
+    "application/dash+xml",
+})
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    """An HTTP request carried in a packet payload."""
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = "example.com"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    body: str = ""
+
+    def serialize(self) -> str:
+        lines = [f"{self.method} {self.path} HTTP/1.1",
+                 f"Host: {self.host}"]
+        lines.extend(f"{name}: {value}"
+                     for name, value in sorted(self.headers.items()))
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    @classmethod
+    def parse(cls, text: str) -> "HttpRequest":
+        head, _, body = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+        headers: dict[str, str] = {}
+        host = ""
+        for line in lines[1:]:
+            name, _, value = line.partition(": ")
+            if name.lower() == "host":
+                host = value
+            else:
+                headers[name] = value
+        return cls(method=method, path=path, host=host, headers=headers,
+                   body=body)
+
+
+@dataclasses.dataclass
+class HttpResponse:
+    """An HTTP response carried in a packet payload."""
+
+    status: int = 200
+    reason: str = "OK"
+    headers: dict[str, str] = dataclasses.field(default_factory=dict)
+    body: str = ""
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    def serialize(self) -> str:
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}"
+                     for name, value in sorted(self.headers.items()))
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    @classmethod
+    def parse(cls, text: str) -> "HttpResponse":
+        head, _, body = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        _version, status, reason = lines[0].split(" ", 2)
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(": ")
+            headers[name] = value
+        return cls(status=int(status), reason=reason, headers=headers,
+                   body=body)
+
+
+def classify_content_type(response_text: str) -> str | None:
+    """Best-effort Content-Type extraction from a serialized response.
+
+    Returns None when the payload is not parseable as an HTTP response —
+    mid-flow data packets, for instance.
+    """
+    if not response_text.startswith("HTTP/"):
+        return None
+    try:
+        response = HttpResponse.parse(response_text)
+    except (ValueError, IndexError):
+        return None
+    return response.content_type or None
+
+
+def is_video_content(content_type: str | None) -> bool:
+    """Whether a Content-Type denotes a video stream."""
+    return content_type in VIDEO_CONTENT_TYPES

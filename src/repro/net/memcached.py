@@ -1,0 +1,67 @@
+"""The memcached UDP text protocol subset used by the proxy NF.
+
+The paper's memcached-proxy NF "parses incoming UDP memcached requests to
+determine what key is being requested" then rewrites the destination.  We
+model the ASCII protocol's ``get``/``set`` commands plus the 8-byte UDP
+frame header that memcached prepends to UDP datagrams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+UDP_FRAME_HEADER_BYTES = 8
+MEMCACHED_PORT = 11211
+
+
+@dataclasses.dataclass(frozen=True)
+class MemcachedRequest:
+    """A parsed memcached request."""
+
+    command: str  # "get" or "set"
+    key: str
+    value: str = ""
+
+    def __post_init__(self) -> None:
+        if self.command not in ("get", "set"):
+            raise ValueError(f"unsupported command: {self.command!r}")
+        if not self.key or " " in self.key or len(self.key) > 250:
+            raise ValueError(f"invalid memcached key: {self.key!r}")
+
+    def serialize(self) -> str:
+        if self.command == "get":
+            return f"get {self.key}\r\n"
+        return (f"set {self.key} 0 0 {len(self.value)}\r\n"
+                f"{self.value}\r\n")
+
+    @classmethod
+    def parse(cls, text: str) -> "MemcachedRequest":
+        line, _, rest = text.partition("\r\n")
+        parts = line.split(" ")
+        if parts[0] == "get" and len(parts) == 2:
+            return cls(command="get", key=parts[1])
+        if parts[0] == "set" and len(parts) == 5:
+            value = rest[: int(parts[4])]
+            return cls(command="set", key=parts[1], value=value)
+        raise ValueError(f"malformed memcached request: {line!r}")
+
+    def wire_length(self) -> int:
+        return UDP_FRAME_HEADER_BYTES + len(self.serialize())
+
+
+@dataclasses.dataclass(frozen=True)
+class MemcachedResponse:
+    """A parsed memcached response."""
+
+    key: str
+    value: str | None  # None models a miss ("END" with no VALUE block)
+
+    def serialize(self) -> str:
+        if self.value is None:
+            return "END\r\n"
+        return (f"VALUE {self.key} 0 {len(self.value)}\r\n"
+                f"{self.value}\r\nEND\r\n")
+
+    @property
+    def hit(self) -> bool:
+        return self.value is not None

@@ -1,0 +1,104 @@
+"""The packet object exchanged through the simulated data plane.
+
+One ``Packet`` instance corresponds to one DPDK mbuf in a huge page: the NF
+Manager and VMs pass *descriptors* referencing it (see
+``repro.dataplane.descriptors``) and never copy it, mirroring the paper's
+zero-copy design.  ``ref_count`` supports the parallel-processing extension
+(§4.2: "we extend the packet data structure used by DPDK to include a
+reference counter").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.net.flow import FiveTuple
+from repro.net.headers import (
+    PROTO_TCP,
+    PROTO_UDP,
+    EthernetHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+
+ETHERNET_OVERHEAD_BYTES = 24  # preamble 8 + FCS 4 + interframe gap 12
+
+_packet_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Packet:
+    """A simulated packet.
+
+    ``size`` is the full frame length in bytes (headers + payload) and is
+    what throughput accounting uses.  ``payload`` carries the serialized
+    application data that L7-aware NFs parse.  ``annotations`` is scratch
+    space for NFs that tag packets for downstream NFs (e.g. the sampler
+    marking a packet as sampled) — the paper's NFs communicate through
+    shared packet state in huge pages.
+    """
+
+    flow: FiveTuple
+    size: int = 64
+    payload: str = ""
+    eth: EthernetHeader = dataclasses.field(default_factory=EthernetHeader)
+    ip: Ipv4Header | None = None
+    l4: TcpHeader | UdpHeader | None = None
+    created_at: int = 0
+    annotations: dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    ref_count: int = 1
+    packet_id: int = dataclasses.field(
+        default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 64:
+            raise ValueError(f"frame below 64-byte minimum: {self.size}")
+        if self.ip is None:
+            self.ip = Ipv4Header(src_ip=self.flow.src_ip,
+                                 dst_ip=self.flow.dst_ip,
+                                 protocol=self.flow.protocol)
+        if self.l4 is None:
+            if self.flow.protocol == PROTO_TCP:
+                self.l4 = TcpHeader(src_port=self.flow.src_port,
+                                    dst_port=self.flow.dst_port)
+            elif self.flow.protocol == PROTO_UDP:
+                self.l4 = UdpHeader(src_port=self.flow.src_port,
+                                    dst_port=self.flow.dst_port)
+
+    def rewrite_destination(self, dst_ip: str, dst_port: int) -> None:
+        """Redirect the packet (the memcached proxy's header rewrite)."""
+        self.flow = dataclasses.replace(self.flow, dst_ip=dst_ip,
+                                        dst_port=dst_port)
+        assert self.ip is not None
+        self.ip = dataclasses.replace(self.ip, dst_ip=dst_ip)
+        if isinstance(self.l4, (TcpHeader, UdpHeader)):
+            self.l4 = dataclasses.replace(self.l4, dst_port=dst_port)
+
+    def add_reference(self, count: int = 1) -> None:
+        """Account ``count`` additional concurrent holders of this buffer."""
+        if count < 1:
+            raise ValueError("reference count increment must be >= 1")
+        self.ref_count += count
+
+    def release(self) -> bool:
+        """Drop one reference.  Returns True when the buffer is now free."""
+        if self.ref_count <= 0:
+            raise RuntimeError("releasing an already-freed packet")
+        self.ref_count -= 1
+        return self.ref_count == 0
+
+
+def wire_bits(size_bytes: int) -> int:
+    """Bits a frame of ``size_bytes`` occupies on an Ethernet link."""
+    return (size_bytes + ETHERNET_OVERHEAD_BYTES) * 8
+
+
+def transmission_ns(size_bytes: int, gbps: float) -> int:
+    """Serialization delay for one frame at ``gbps`` line rate."""
+    if gbps <= 0:
+        raise ValueError("line rate must be positive")
+    return max(1, round(wire_bits(size_bytes) / gbps))

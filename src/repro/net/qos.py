@@ -1,0 +1,24 @@
+"""DSCP constants and priority mapping (DiffServ, an IP-layer concept)."""
+
+from __future__ import annotations
+
+PRIORITY_ANNOTATION = "qos_priority"
+
+# Standard DSCP class selectors mapped onto our priority levels
+# (0 = highest).
+DSCP_EXPEDITED = 46   # EF
+DSCP_ASSURED = 10     # AF11
+DSCP_BEST_EFFORT = 0
+
+
+def dscp_to_priority(dscp: int, levels: int) -> int:
+    """Map a DSCP value to an egress queue index (0 = served first)."""
+    if not 0 <= dscp <= 63:
+        raise ValueError(f"DSCP out of range: {dscp}")
+    if levels < 1:
+        raise ValueError("levels must be positive")
+    if dscp >= DSCP_EXPEDITED:
+        return 0
+    if dscp >= DSCP_ASSURED:
+        return min(1, levels - 1)
+    return levels - 1

@@ -1,0 +1,67 @@
+"""Network function library.
+
+Every NF from the paper's use cases (§2.2) and evaluation (§5), written
+against the SDNFV-User-style API in :mod:`repro.nfs.base`: an NF receives a
+packet plus a context, does its work, and returns a verdict (Discard /
+Send-to / Default), optionally sending cross-layer messages.
+"""
+
+from repro.nfs.ant import AntFlowDetector
+from repro.nfs.base import NetworkFunction, NfContext
+from repro.nfs.cache import HttpCache
+from repro.nfs.compute import ComputeNf
+from repro.nfs.ddos import DdosDetector, DdosScrubber
+from repro.nfs.dpi import (
+    PROTOCOL_ANNOTATION,
+    ProtocolClassifier,
+    classify_payload,
+)
+from repro.nfs.firewall import Firewall, FirewallRule
+from repro.nfs.ids import IntrusionDetector
+from repro.nfs.memcached_proxy import MemcachedProxy
+from repro.nfs.monitor import FLOW_STATS_KEY, FlowMonitor, FlowStatsReport
+from repro.nfs.nat import NatError, SourceNat
+from repro.nfs.noop import CounterNf, NoOpNf
+from repro.nfs.qos import DscpMarker, MarkingRule
+from repro.nfs.sampler import Sampler
+from repro.nfs.scrubber import Scrubber
+from repro.nfs.shaper import TrafficShaper
+from repro.nfs.video import (
+    PolicyEngine,
+    QualityDetector,
+    Transcoder,
+    VideoFlowDetector,
+)
+
+__all__ = [
+    "AntFlowDetector",
+    "ComputeNf",
+    "CounterNf",
+    "DdosDetector",
+    "DdosScrubber",
+    "DscpMarker",
+    "FLOW_STATS_KEY",
+    "MarkingRule",
+    "Firewall",
+    "FirewallRule",
+    "FlowMonitor",
+    "FlowStatsReport",
+    "HttpCache",
+    "IntrusionDetector",
+    "MemcachedProxy",
+    "NatError",
+    "NetworkFunction",
+    "NfContext",
+    "PROTOCOL_ANNOTATION",
+    "ProtocolClassifier",
+    "SourceNat",
+    "classify_payload",
+    "NoOpNf",
+    "PolicyEngine",
+    "QualityDetector",
+    "Sampler",
+    "Scrubber",
+    "TrafficShaper",
+    "Transcoder",
+    "VideoFlowDetector",
+]

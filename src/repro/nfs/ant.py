@@ -1,0 +1,84 @@
+"""The Ant Flow Detector (§5.2): ant/elephant classification with rerouting.
+
+"Classifies incoming flows by observing the size and rate of packets over a
+two second time interval."  Ant flows (small packets, modest rate) are
+rerouted to a faster, lower-latency path via ChangeDefault; when a flow's
+phase changes back to elephant behaviour it is returned to the bulk path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataplane.actions import Verdict
+from repro.dataplane.messages import ChangeDefault
+from repro.net.flow import FiveTuple, FlowMatch
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+from repro.sim.units import S
+
+
+@dataclasses.dataclass
+class _FlowWindow:
+    """Per-flow observation accumulator for the current interval."""
+
+    start_ns: int
+    packets: int = 0
+    bytes: int = 0
+
+    def mean_packet_size(self) -> float:
+        return self.bytes / self.packets if self.packets else 0.0
+
+    def rate_mbps(self, now_ns: int) -> float:
+        elapsed = max(1, now_ns - self.start_ns)
+        return self.bytes * 8e3 / elapsed  # bytes*8 / ns = Gbps; *1e3 = Mbps
+
+
+class AntFlowDetector(NetworkFunction):
+    """Classifies flows each window and reroutes ants to the fast path."""
+
+    read_only = False  # issues routing changes
+    per_packet_cost_ns = 45
+
+    def __init__(self, service_id: str, fast_target: str,
+                 slow_target: str, window_ns: int = 2 * S,
+                 ant_max_packet_size: int = 256,
+                 ant_max_rate_mbps: float = 100.0) -> None:
+        super().__init__(service_id)
+        self.fast_target = fast_target
+        self.slow_target = slow_target
+        self.window_ns = window_ns
+        self.ant_max_packet_size = ant_max_packet_size
+        self.ant_max_rate_mbps = ant_max_rate_mbps
+        self._windows: dict[FiveTuple, _FlowWindow] = {}
+        self.classification: dict[FiveTuple, str] = {}
+        self.reclassifications = 0
+
+    def _classify(self, window: _FlowWindow, now_ns: int) -> str:
+        small = window.mean_packet_size() <= self.ant_max_packet_size
+        slow = window.rate_mbps(now_ns) <= self.ant_max_rate_mbps
+        return "ant" if (small and slow) else "elephant"
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        flow = packet.flow
+        window = self._windows.get(flow)
+        if window is None:
+            window = _FlowWindow(start_ns=ctx.now)
+            self._windows[flow] = window
+        window.packets += 1
+        window.bytes += packet.size
+        if ctx.now - window.start_ns >= self.window_ns:
+            label = self._classify(window, ctx.now)
+            self._windows[flow] = _FlowWindow(start_ns=ctx.now)
+            previous = self.classification.get(flow)
+            if label != previous:
+                self.classification[flow] = label
+                self.reclassifications += 1
+                target = (self.fast_target if label == "ant"
+                          else self.slow_target)
+                ctx.send_message(ChangeDefault(
+                    sender_service=self.service_id,
+                    flows=FlowMatch.exact(flow),
+                    service=self.service_id,
+                    target=target))
+        return Verdict.default()

@@ -1,0 +1,80 @@
+"""An HTTP response cache NF (the Cache of the video use case, §2.2).
+
+"The video flow passes through a Cache so that subsequent requests can be
+served locally."  Responses are stored keyed by (host, path); a request
+that hits is answered from the cache (short-circuited out the reply port)
+instead of continuing to the origin.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.dataplane.actions import Verdict
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+class HttpCache(NetworkFunction):
+    """LRU cache over serialized HTTP responses."""
+
+    read_only = False  # serves replies; rewrites flow direction
+    per_packet_cost_ns = 150
+
+    def __init__(self, service_id: str, capacity: int = 1024,
+                 reply_port: str | None = None) -> None:
+        super().__init__(service_id)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.reply_port = reply_port
+        self._store: collections.OrderedDict[tuple[str, str], str] = (
+            collections.OrderedDict())
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    def _remember(self, key: tuple[str, str], body: str) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = body
+        self.stored += 1
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def lookup(self, host: str, path: str) -> str | None:
+        """Cache lookup (promotes the entry on hit)."""
+        key = (host, path)
+        if key not in self._store:
+            return None
+        self._store.move_to_end(key)
+        return self._store[key]
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        payload = packet.payload
+        if payload.startswith("HTTP/"):
+            # A response heading downstream: remember it for next time.
+            try:
+                response = HttpResponse.parse(payload)
+            except (ValueError, IndexError):
+                return Verdict.default()
+            request_key = packet.annotations.get("request_key")
+            if request_key is not None:
+                self._remember(tuple(request_key), payload)
+            return Verdict.default()
+        if payload.startswith(("GET ", "HEAD ")):
+            try:
+                request = HttpRequest.parse(payload)
+            except (ValueError, IndexError):
+                return Verdict.default()
+            packet.annotations["request_key"] = (request.host, request.path)
+            cached = self.lookup(request.host, request.path)
+            if cached is not None:
+                self.hits += 1
+                packet.annotations["served_from_cache"] = True
+                if self.reply_port is not None:
+                    return Verdict.send_to_port(self.reply_port)
+                return Verdict.discard()  # absorbed: answered locally
+            self.misses += 1
+        return Verdict.default()

@@ -1,0 +1,37 @@
+"""A compute-intensive NF (the Fig. 6 latency-CDF workload)."""
+
+from __future__ import annotations
+
+from repro.dataplane.actions import Verdict
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+class ComputeNf(NetworkFunction):
+    """Charges a configurable per-packet computation.
+
+    ``cost_ns`` is the mean per-packet work; ``jitter_ns`` adds a uniform
+    ±jitter to model data-dependent processing (payload analysis cost
+    varies per packet, §4.2).  ``read_only`` is constructor-selectable so
+    the same NF exercises both parallel and sequential placement.
+    """
+
+    def __init__(self, service_id: str, cost_ns: int,
+                 jitter_ns: int = 0, read_only: bool = True) -> None:
+        super().__init__(service_id)
+        if cost_ns < 0 or jitter_ns < 0:
+            raise ValueError("costs must be non-negative")
+        if jitter_ns > cost_ns:
+            raise ValueError("jitter cannot exceed the mean cost")
+        self.cost_ns = cost_ns
+        self.jitter_ns = jitter_ns
+        self.read_only = read_only
+
+    def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
+        if not self.jitter_ns:
+            return self.cost_ns
+        return int(ctx.rng.integers(self.cost_ns - self.jitter_ns,
+                                    self.cost_ns + self.jitter_ns + 1))
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        return Verdict.default()

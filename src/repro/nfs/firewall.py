@@ -1,0 +1,56 @@
+"""A stateless firewall NF.
+
+The paper's firewall is the loosely-coupled NF archetype (§3.4): it "may
+have no knowledge of other NFs in the service graph", so it only ever drops
+packets by its own rules or forwards them along the default action.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataplane.actions import Verdict
+from repro.net.flow import FlowMatch
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+@dataclasses.dataclass(frozen=True)
+class FirewallRule:
+    """First-match rule: allow or deny flows matching ``match``."""
+
+    match: FlowMatch
+    allow: bool
+
+
+class Firewall(NetworkFunction):
+    """Ordered first-match firewall with a configurable default action."""
+
+    read_only = True
+    per_packet_cost_ns = 40  # rule scan
+
+    def __init__(self, service_id: str,
+                 rules: list[FirewallRule] | None = None,
+                 default_allow: bool = True) -> None:
+        super().__init__(service_id)
+        self.rules = list(rules or [])
+        self.default_allow = default_allow
+        self.allowed = 0
+        self.denied = 0
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        self.rules.append(rule)
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        for rule in self.rules:
+            if rule.match.matches(packet.flow):
+                if rule.allow:
+                    self.allowed += 1
+                    return Verdict.default()
+                self.denied += 1
+                return Verdict.discard()
+        if self.default_allow:
+            self.allowed += 1
+            return Verdict.default()
+        self.denied += 1
+        return Verdict.discard()

@@ -1,0 +1,64 @@
+"""Signature-based intrusion detection (the IDS of §2.2).
+
+Scans packet payloads for "malicious signatures such as SQL exploits in
+HTTP packets".  Detection cost scales with payload length — the kind of
+data-dependent processing §4.2's queue-length load balancing targets.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataplane.actions import Verdict
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+DEFAULT_SIGNATURES = (
+    "' OR 1=1",
+    "UNION SELECT",
+    "DROP TABLE",
+    "<script>",
+    "../../etc/passwd",
+)
+
+
+class IntrusionDetector(NetworkFunction):
+    """Payload signature scanner.
+
+    On a match the packet is marked suspicious; if ``alert_service`` is set
+    (the tightly-coupled IDS+Scrubber pairing of §3.4), the packet is
+    diverted there, and **subsequent packets of the flow** are also flagged
+    via per-flow state.
+    """
+
+    read_only = True
+
+    def __init__(self, service_id: str,
+                 signatures: typing.Sequence[str] = DEFAULT_SIGNATURES,
+                 alert_service: str | None = None,
+                 scan_cost_per_byte_ns: float = 0.5) -> None:
+        super().__init__(service_id)
+        self.signatures = tuple(signatures)
+        self.alert_service = alert_service
+        self.scan_cost_per_byte_ns = scan_cost_per_byte_ns
+        self.alerts = 0
+        self.flagged_flows: set = set()
+
+    def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
+        return max(20, round(len(packet.payload)
+                             * self.scan_cost_per_byte_ns))
+
+    def _is_malicious(self, packet: Packet) -> bool:
+        if packet.flow in self.flagged_flows:
+            return True
+        payload = packet.payload
+        return any(signature in payload for signature in self.signatures)
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        if self._is_malicious(packet):
+            self.alerts += 1
+            self.flagged_flows.add(packet.flow)
+            packet.annotations["ids_alert"] = True
+            if self.alert_service is not None:
+                return Verdict.send_to_service(self.alert_service)
+        return Verdict.default()

@@ -1,0 +1,66 @@
+"""The application-aware memcached proxy NF (§5.4).
+
+"Parses incoming UDP memcached requests to determine what key is being
+requested.  The key is then mapped to a specific server using a hashing
+function, and the packet's header is rewritten to direct it to that
+server."  Responses flow directly back to clients without touching the
+proxy — the asymmetry that (with zero-copy) gives the 102× win over
+TwemProxy in Fig. 12.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.dataplane.actions import Verdict
+from repro.net.memcached import MemcachedRequest
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+def _fnv1a(key: str) -> int:
+    value = 2166136261
+    for byte in key.encode("utf-8"):
+        value ^= byte
+        value = (value * 16777619) % (1 << 32)
+    return value
+
+
+class MemcachedProxy(NetworkFunction):
+    """Key-hashing L7 load balancer for memcached over UDP."""
+
+    read_only = False  # rewrites packet headers
+    per_packet_cost_ns = 90  # parse + hash + header rewrite
+
+    def __init__(self, service_id: str,
+                 servers: typing.Sequence[tuple[str, int]],
+                 parse_cost_ns: int | None = None) -> None:
+        super().__init__(service_id)
+        if not servers:
+            raise ValueError("need at least one memcached server")
+        self.servers = list(servers)
+        if parse_cost_ns is not None:
+            if parse_cost_ns < 0:
+                raise ValueError("parse cost must be non-negative")
+            self.per_packet_cost_ns = parse_cost_ns
+        self.requests_forwarded = 0
+        self.parse_errors = 0
+        self.per_server = collections.Counter()
+
+    def server_for_key(self, key: str) -> tuple[str, int]:
+        """Deterministic key → server mapping."""
+        return self.servers[_fnv1a(key) % len(self.servers)]
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        try:
+            request = MemcachedRequest.parse(packet.payload)
+        except (ValueError, IndexError):
+            self.parse_errors += 1
+            return Verdict.default()
+        server_ip, server_port = self.server_for_key(request.key)
+        packet.rewrite_destination(server_ip, server_port)
+        packet.annotations["memcached_key"] = request.key
+        self.per_server[(server_ip, server_port)] += 1
+        self.requests_forwarded += 1
+        return Verdict.default()

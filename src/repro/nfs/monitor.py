@@ -1,0 +1,95 @@
+"""FlowMonitor: periodic per-flow statistics pushed up the hierarchy.
+
+§3.4 ("NF–SDN Coordination"): the paper wants NFs to "provide generic
+statistics such as flow or drop rates" to the SDN tier.  FlowMonitor
+counts per-flow packets and bytes and, every reporting window, pushes a
+``UserMessage(key="flow_stats")`` whose value is a rate summary — the
+SDNFV Application subscribes with ``app.on_message("flow_stats", ...)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataplane.actions import Verdict
+from repro.dataplane.messages import UserMessage
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet, wire_bits
+from repro.nfs.base import NetworkFunction, NfContext
+from repro.sim.units import S
+
+FLOW_STATS_KEY = "flow_stats"
+
+
+@dataclasses.dataclass(frozen=True)
+class FlowStatsReport:
+    """One reporting window's aggregate."""
+
+    window_start_ns: int
+    window_end_ns: int
+    flows: int
+    packets: int
+    bits: int
+    top_flow: FiveTuple | None
+    top_flow_mbps: float
+
+    @property
+    def total_mbps(self) -> float:
+        elapsed = max(1, self.window_end_ns - self.window_start_ns)
+        return self.bits * 1e3 / elapsed
+
+
+class FlowMonitor(NetworkFunction):
+    """Counts flows and reports rate summaries each window."""
+
+    read_only = True
+    per_packet_cost_ns = 35
+
+    def __init__(self, service_id: str,
+                 report_interval_ns: int = 1 * S) -> None:
+        super().__init__(service_id)
+        if report_interval_ns <= 0:
+            raise ValueError("report interval must be positive")
+        self.report_interval_ns = report_interval_ns
+        self._window_start = 0
+        self._packets: dict[FiveTuple, int] = {}
+        self._bits: dict[FiveTuple, int] = {}
+        self.reports_sent = 0
+
+    def _flush(self, ctx: NfContext) -> None:
+        now = ctx.now
+        top_flow, top_bits = None, -1
+        total_bits = 0
+        total_packets = 0
+        for flow, bits in self._bits.items():
+            total_bits += bits
+            total_packets += self._packets[flow]
+            if bits > top_bits:
+                top_flow, top_bits = flow, bits
+        elapsed = max(1, now - self._window_start)
+        report = FlowStatsReport(
+            window_start_ns=self._window_start,
+            window_end_ns=now,
+            flows=len(self._bits),
+            packets=total_packets,
+            bits=total_bits,
+            top_flow=top_flow,
+            top_flow_mbps=(top_bits * 1e3 / elapsed
+                           if top_flow is not None else 0.0))
+        ctx.send_message(UserMessage(sender_service=self.service_id,
+                                     key=FLOW_STATS_KEY, value=report))
+        self.reports_sent += 1
+        self._window_start = now
+        self._packets.clear()
+        self._bits.clear()
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        if (self._packets
+                and ctx.now - self._window_start
+                >= self.report_interval_ns):
+            self._flush(ctx)
+        flow = packet.flow
+        self._packets[flow] = self._packets.get(flow, 0) + 1
+        self._bits[flow] = (self._bits.get(flow, 0)
+                            + wire_bits(packet.size))
+        return Verdict.default()

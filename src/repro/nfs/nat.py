@@ -1,0 +1,90 @@
+"""A stateful source-NAT network function.
+
+A classic middlebox with exactly the "interdependence between packets"
+the paper's background section calls out: the translation chosen for a
+flow's first packet must be applied to all subsequent packets, and reply
+traffic must reverse-translate — per-NF external state of the
+"Partitioned" kind (§3.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataplane.actions import Verdict
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+class NatError(Exception):
+    """Port pool exhausted or translation conflict."""
+
+
+class SourceNat(NetworkFunction):
+    """Rewrites private source addresses to one public IP + port."""
+
+    read_only = False
+    per_packet_cost_ns = 70
+
+    def __init__(self, service_id: str, public_ip: str,
+                 port_range: tuple[int, int] = (20000, 60000)) -> None:
+        super().__init__(service_id)
+        low, high = port_range
+        if not 0 < low < high <= 65535:
+            raise ValueError(f"bad port range {port_range}")
+        self.public_ip = public_ip
+        self._next_port = low
+        self._port_limit = high
+        # private flow -> allocated public source port
+        self._forward: dict[FiveTuple, int] = {}
+        # (public port, remote ip, remote port) -> private flow
+        self._reverse: dict[tuple[int, str, int], FiveTuple] = {}
+        self.translations = 0
+        self.reverse_translations = 0
+
+    @property
+    def active_bindings(self) -> int:
+        return len(self._forward)
+
+    def _allocate(self, flow: FiveTuple) -> int:
+        # The pool is [low, high): high is exclusive.
+        if self._next_port >= self._port_limit:
+            raise NatError("NAT port pool exhausted")
+        port = self._next_port
+        self._next_port += 1
+        self._forward[flow] = port
+        self._reverse[(port, flow.dst_ip, flow.dst_port)] = flow
+        return port
+
+    def release(self, flow: FiveTuple) -> None:
+        """Tear down a binding (e.g. on flow expiry)."""
+        port = self._forward.pop(flow, None)
+        if port is not None:
+            self._reverse.pop((port, flow.dst_ip, flow.dst_port), None)
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        flow = packet.flow
+        reverse_key = (flow.dst_port, flow.src_ip, flow.src_port)
+        if flow.dst_ip == self.public_ip and reverse_key in self._reverse:
+            # Reply traffic: restore the private destination.
+            private = self._reverse[reverse_key]
+            packet.rewrite_destination(private.src_ip, private.src_port)
+            self.reverse_translations += 1
+            return Verdict.default()
+        port = self._forward.get(flow)
+        if port is None:
+            port = self._allocate(flow)
+        packet.annotations["nat_original_src"] = (flow.src_ip,
+                                                  flow.src_port)
+        # Outbound: rewrite the source in place (zero-copy, like the
+        # memcached proxy's destination rewrite).
+        packet.flow = dataclasses.replace(flow, src_ip=self.public_ip,
+                                          src_port=port)
+        assert packet.ip is not None
+        packet.ip = dataclasses.replace(packet.ip,
+                                        src_ip=self.public_ip)
+        if packet.l4 is not None:
+            packet.l4 = dataclasses.replace(packet.l4, src_port=port)
+        self.translations += 1
+        return Verdict.default()

@@ -1,0 +1,70 @@
+"""DscpMarker: a QoS classification/marking NF.
+
+Writes the IP DSCP field (and the ``qos_priority`` annotation) based on
+flow-match rules, so downstream priority-aware egress ports
+(:class:`~repro.dataplane.qos.PriorityNicPort`) schedule the traffic
+accordingly.  The classic ingress-edge middlebox of a DiffServ domain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.dataplane.actions import Verdict
+from repro.net.qos import PRIORITY_ANNOTATION, dscp_to_priority
+from repro.net.flow import FlowMatch
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+@dataclasses.dataclass(frozen=True)
+class MarkingRule:
+    """First-match classification: flows matching ``match`` get ``dscp``."""
+
+    match: FlowMatch
+    dscp: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dscp <= 63:
+            raise ValueError(f"DSCP out of range: {self.dscp}")
+
+
+class DscpMarker(NetworkFunction):
+    """Marks packets' DSCP by flow rules (first match wins)."""
+
+    read_only = False  # rewrites the IP header
+    per_packet_cost_ns = 45
+
+    def __init__(self, service_id: str,
+                 rules: list[MarkingRule] | None = None,
+                 default_dscp: int | None = None,
+                 priority_levels: int = 3) -> None:
+        super().__init__(service_id)
+        if default_dscp is not None and not 0 <= default_dscp <= 63:
+            raise ValueError(f"DSCP out of range: {default_dscp}")
+        self.rules = list(rules or [])
+        self.default_dscp = default_dscp
+        self.priority_levels = priority_levels
+        self.marked = 0
+        self.unmarked = 0
+
+    def add_rule(self, rule: MarkingRule) -> None:
+        self.rules.append(rule)
+
+    def _dscp_for(self, packet: Packet) -> int | None:
+        for rule in self.rules:
+            if rule.match.matches(packet.flow):
+                return rule.dscp
+        return self.default_dscp
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        dscp = self._dscp_for(packet)
+        if dscp is None:
+            self.unmarked += 1
+            return Verdict.default()
+        assert packet.ip is not None
+        packet.ip = dataclasses.replace(packet.ip, dscp=dscp)
+        packet.annotations[PRIORITY_ANNOTATION] = dscp_to_priority(
+            dscp, self.priority_levels)
+        self.marked += 1
+        return Verdict.default()

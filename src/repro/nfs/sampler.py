@@ -1,0 +1,53 @@
+"""The Sampler NF from the anomaly-detection use case (§2.2).
+
+Takes a subset of incoming traffic — "either random or by shallow header
+inspection" — and diverts it for deeper analysis via a non-default edge;
+everything else follows the default path untouched.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataplane.actions import Verdict
+from repro.net.flow import FlowMatch
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+
+
+class Sampler(NetworkFunction):
+    """Diverts sampled packets to an analysis service.
+
+    ``sample_rate`` selects packets at random; ``header_match`` (when set)
+    selects by shallow header inspection instead.  Sampled packets are sent
+    to ``analysis_service`` (which must be an allowed next hop in the
+    service graph); the rest take the default edge.
+    """
+
+    read_only = True
+    per_packet_cost_ns = 30
+
+    def __init__(self, service_id: str, analysis_service: str,
+                 sample_rate: float = 0.1,
+                 header_match: FlowMatch | None = None) -> None:
+        super().__init__(service_id)
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be a probability")
+        self.analysis_service = analysis_service
+        self.sample_rate = sample_rate
+        self.header_match = header_match
+        self.sampled = 0
+        self.passed = 0
+
+    def _selected(self, packet: Packet, rng) -> bool:
+        if self.header_match is not None:
+            return self.header_match.matches(packet.flow)
+        return rng.random() < self.sample_rate
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        if self._selected(packet, ctx.rng):
+            self.sampled += 1
+            packet.annotations["sampled"] = True
+            return Verdict.send_to_service(self.analysis_service)
+        self.passed += 1
+        return Verdict.default()

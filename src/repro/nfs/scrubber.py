@@ -1,0 +1,48 @@
+"""The generic Scrubber NF of the anomaly-detection graph (§2.2).
+
+"Performs a more detailed inspection of the packets to determine if they
+truly pose a threat" — here: deep payload re-scan of packets the IDS or
+DDoS detector flagged, dropping those confirmed malicious.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dataplane.actions import Verdict
+from repro.net.packet import Packet
+from repro.nfs.base import NetworkFunction, NfContext
+from repro.nfs.ids import DEFAULT_SIGNATURES
+
+
+class Scrubber(NetworkFunction):
+    """Deep inspection of flagged packets.
+
+    A packet is confirmed malicious when a second, more expensive scan
+    (modeled at 4× the IDS per-byte cost) also matches.  False positives —
+    flagged by upstream but clean on deep scan — are forwarded on the
+    default path.
+    """
+
+    read_only = False  # may terminate flows
+    scan_cost_per_byte_ns = 2.0
+
+    def __init__(self, service_id: str,
+                 signatures: typing.Sequence[str] = DEFAULT_SIGNATURES
+                 ) -> None:
+        super().__init__(service_id)
+        self.signatures = tuple(signatures)
+        self.confirmed = 0
+        self.false_positives = 0
+
+    def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
+        return max(100, round(len(packet.payload)
+                              * self.scan_cost_per_byte_ns))
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        if any(signature in packet.payload
+               for signature in self.signatures):
+            self.confirmed += 1
+            return Verdict.discard()
+        self.false_positives += 1
+        return Verdict.default()

@@ -1,0 +1,73 @@
+"""A token-bucket traffic shaper NF (the Shaper of the video use case).
+
+"A traffic Shaper, which may limit the flow's rate to meet the desired
+network bandwidth level if necessary."  Modeled as a policer: packets
+beyond the configured rate are discarded (our NFs cannot hold packets, so
+shaping degenerates to policing — the rate-limiting effect the experiment
+needs is identical).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.actions import Verdict
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet, wire_bits
+from repro.nfs.base import NetworkFunction, NfContext
+from repro.sim.units import S
+
+
+class _TokenBucket:
+    """Classic token bucket in bits with nanosecond refill."""
+
+    def __init__(self, rate_bps: float, burst_bits: float) -> None:
+        self.rate_bps = rate_bps
+        self.burst_bits = burst_bits
+        self.tokens = burst_bits
+        self.last_refill_ns = 0
+
+    def admit(self, bits: int, now_ns: int) -> bool:
+        elapsed = now_ns - self.last_refill_ns
+        self.last_refill_ns = now_ns
+        self.tokens = min(self.burst_bits,
+                          self.tokens + elapsed * self.rate_bps / S)
+        if self.tokens >= bits:
+            self.tokens -= bits
+            return True
+        return False
+
+
+class TrafficShaper(NetworkFunction):
+    """Rate limiter, aggregate or per-flow."""
+
+    read_only = False  # drops packets
+
+    def __init__(self, service_id: str, rate_mbps: float,
+                 burst_kb: float = 64.0, per_flow: bool = False) -> None:
+        super().__init__(service_id)
+        if rate_mbps <= 0 or burst_kb <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_bps = rate_mbps * 1e6
+        self.burst_bits = burst_kb * 8e3
+        self.per_flow = per_flow
+        self._aggregate = _TokenBucket(self.rate_bps, self.burst_bits)
+        self._buckets: dict[FiveTuple, _TokenBucket] = {}
+        self.conformant = 0
+        self.policed = 0
+
+    def _bucket(self, flow: FiveTuple) -> _TokenBucket:
+        if not self.per_flow:
+            return self._aggregate
+        bucket = self._buckets.get(flow)
+        if bucket is None:
+            bucket = _TokenBucket(self.rate_bps, self.burst_bits)
+            bucket.last_refill_ns = 0
+            self._buckets[flow] = bucket
+        return bucket
+
+    def process(self, packet: Packet, ctx: NfContext) -> Verdict:
+        bucket = self._bucket(packet.flow)
+        if bucket.admit(wire_bits(packet.size), ctx.now):
+            self.conformant += 1
+            return Verdict.default()
+        self.policed += 1
+        return Verdict.discard()

@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based event kernel in the style of SimPy,
+specialised for this project:
+
+- the clock is an **integer nanosecond** counter (no float drift),
+- events fired at the same timestamp are processed in FIFO schedule order,
+- processes are plain generator functions that ``yield`` events.
+
+Typical use::
+
+    from repro.sim import Simulator, US
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(5 * US)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "done"
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from repro.sim.simulator import Simulator
+from repro.sim.store import Store
+from repro.sim.units import MS, NS, S, US, ns_to_seconds, seconds_to_ns
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "MS",
+    "NS",
+    "Process",
+    "S",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "US",
+    "ns_to_seconds",
+    "seconds_to_ns",
+]

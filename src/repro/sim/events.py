@@ -1,0 +1,288 @@
+"""Event primitives for the simulation kernel.
+
+The kernel is callback-based at the bottom (:class:`Event`) with a
+generator-based process layer on top (:class:`Process`).  A process is a
+generator that yields events; when a yielded event fires, the process is
+resumed with the event's value (or the event's exception is thrown into it).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with a value and subscriber callbacks.
+
+    Lifecycle: *pending* → *triggered* (scheduled into the event queue) →
+    *processed* (callbacks ran).  An event may succeed with a value or fail
+    with an exception; failing events propagate their exception into any
+    process that waits on them.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[typing.Callable[[Event], None]] | None = []
+        self._value: typing.Any = _PENDING
+        self._exception: BaseException | None = None
+        # Failures must either be waited on or explicitly defused, mirroring
+        # "errors should never pass silently".
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a result and is scheduled (or processed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> typing.Any:
+        """The event's value (or raises its failure exception)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event is not yet triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = None
+        self._exception = exception
+        self.sim._enqueue(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise it."""
+        self._defused = True
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self._defused:
+            raise self._exception
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: int,
+                 value: typing.Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._value = value
+        sim._enqueue(self, delay=self.delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> typing.Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator and drives it by subscribing to yielded events.
+
+    The process *is* an event: it triggers when the generator returns
+    (succeeding with the return value) or raises (failing with the
+    exception).
+    """
+
+    def __init__(self, sim: "Simulator",
+                 generator: typing.Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the process via an immediately-triggered initial event.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self._target is self.sim.active_event:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.sim)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._value = None
+        interrupt_event.defuse()
+        interrupt_event.callbacks.append(self._interrupted)
+        self.sim._enqueue(interrupt_event)
+
+    def _interrupted(self, event: Event) -> None:
+        """Deliver an interrupt: first detach from the abandoned target so
+        its later firing cannot mis-resume this process."""
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        # A stale wakeup: the process was interrupted and already moved on,
+        # or finished.  Ignore the original target's completion.
+        if self.triggered:
+            return
+        self.sim._active_process = self
+        try:
+            if event._exception is None:
+                next_event = self._generator.send(event._value)
+            else:
+                # The waited-on event failed (or we were interrupted); the
+                # failure is now the process's problem.
+                event.defuse()
+                next_event = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(next_event, Event):
+            kind = type(next_event).__name__
+            error = RuntimeError(
+                f"process yielded a non-event ({kind}); yield sim.timeout() "
+                "or another Event")
+            try:
+                self._generator.throw(error)
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            # The generator swallowed the error and kept yielding; that is
+            # a programming error we refuse to paper over.
+            self.fail(error)
+            return
+        if next_event.sim is not self.sim:
+            raise RuntimeError("process yielded an event from another "
+                               "simulator")
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            wakeup = Event(self.sim)
+            wakeup._value = next_event._value
+            wakeup._exception = next_event._exception
+            if wakeup._exception is not None:
+                wakeup.defuse()
+            wakeup.callbacks.append(self._resume)
+            self.sim._enqueue(wakeup)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events.
+
+    A constituent counts as complete once it is *processed* (callbacks
+    ran) — being merely scheduled (e.g. a fresh Timeout, which is
+    triggered at creation) does not count.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 events: typing.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise RuntimeError("condition mixes events from different "
+                                   "simulators")
+        self._completed = 0
+        for event in self.events:
+            if event.callbacks is None:
+                if event._exception is not None:
+                    if not self.triggered:
+                        self.fail(event._exception)
+                else:
+                    self._completed += 1
+            else:
+                event.callbacks.append(self._observe)
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            if event._exception is not None:
+                event.defuse()
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+            return
+        self._completed += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, typing.Any]:
+        """Values of constituents that have completed successfully."""
+        return {event: event._value for event in self.events
+                if event.callbacks is None and event._exception is None}
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any constituent event is processed."""
+
+    def _satisfied(self) -> bool:
+        return self._completed >= 1 or not self.events
+
+
+class AllOf(_Condition):
+    """Triggers once all constituent events are processed."""
+
+    def _satisfied(self) -> bool:
+        return self._completed >= len(self.events)

@@ -1,0 +1,122 @@
+"""The event loop: an integer-nanosecond discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Events scheduled for the same timestamp fire in the order they were
+    scheduled (FIFO tie-break via a monotonically increasing sequence
+    number), which keeps runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+        self.active_event: Event | None = None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: typing.Any = None) -> Timeout:
+        """Create an event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue,
+                       (self.now + int(delay), self._sequence, event))
+        self._sequence += 1
+
+    def schedule(self, delay: int,
+                 callback: typing.Callable[[], None]) -> Event:
+        """Run ``callback()`` after ``delay`` ns.  Returns the timer event."""
+        timer = self.timeout(delay)
+        timer.callbacks.append(lambda _event: callback())
+        return timer
+
+    def peek(self) -> int | None:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def _step(self) -> None:
+        if not self._queue:
+            raise EmptySchedule()
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise AssertionError("time went backwards")
+        self.now = when
+        self.active_event = event
+        try:
+            event._run_callbacks()
+        finally:
+            self.active_event = None
+
+    def run(self, until: int | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until no events remain,
+        - an ``int``: run until the clock reaches that timestamp (events at
+          exactly ``until`` do not fire; ``now`` is left at ``until``),
+        - an :class:`Event`: run until that event has been processed and
+          return its value.
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                try:
+                    self._step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered") from None
+            return sentinel.value
+        deadline = None if until is None else int(until)
+        if deadline is not None and deadline < self.now:
+            raise ValueError(f"until={deadline} is in the past "
+                             f"(now={self.now})")
+        while self._queue:
+            if deadline is not None and self._queue[0][0] >= deadline:
+                self.now = deadline
+                return None
+            self._step()
+        if deadline is not None:
+            self.now = deadline
+        return None

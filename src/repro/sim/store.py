@@ -1,0 +1,116 @@
+"""A bounded FIFO store with blocking put/get, for inter-process queues."""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+class Store:
+    """Bounded FIFO channel between simulation processes.
+
+    ``put(item)`` and ``get()`` return events; a process yields them::
+
+        yield store.put(item)      # blocks while full
+        item = yield store.get()   # blocks while empty
+
+    Non-blocking variants ``try_put`` / ``try_get`` return success/None
+    immediately — these model drop-on-full ring buffers.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 capacity: int | float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: collections.deque = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, typing.Any]] = (
+            collections.deque())
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Blocking interface
+    # ------------------------------------------------------------------
+    def put(self, item: typing.Any) -> Event:
+        event = Event(self.sim)
+        if self._try_deliver_directly(item):
+            event.succeed()
+        elif not self.is_full:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _pop_live_getter(self) -> Event | None:
+        """Next getter that still has a subscriber.
+
+        A get event whose callbacks emptied out belongs to a process that
+        was interrupted while waiting; delivering an item to it would
+        lose the item silently.
+        """
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.callbacks:  # None (processed) is impossible here
+                return getter
+        return None
+
+    # ------------------------------------------------------------------
+    # Non-blocking interface
+    # ------------------------------------------------------------------
+    def try_put(self, item: typing.Any) -> bool:
+        """Insert if not full.  Returns False (drop) when full."""
+        if self._try_deliver_directly(item):
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def try_get(self) -> typing.Any | None:
+        """Remove and return the head item, or None when empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_waiting_putter()
+        return item
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_deliver_directly(self, item: typing.Any) -> bool:
+        """Hand ``item`` straight to a waiting getter, preserving FIFO."""
+        if self._getters and not self.items:
+            getter = self._pop_live_getter()
+            if getter is not None:
+                getter.succeed(item)
+                return True
+        return False
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            put_event, item = self._putters.popleft()
+            self.items.append(item)
+            put_event.succeed()

@@ -1,0 +1,20 @@
+"""Network topology substrate: nodes, links, graphs, generators."""
+
+from repro.topology.builder import BuiltNetwork, build_network
+from repro.topology.fabric import Fabric, Wire
+from repro.topology.links import Link
+from repro.topology.nodes import NodeKind, NodeSpec
+from repro.topology.rocketfuel import rocketfuel_like
+from repro.topology.topology import Topology
+
+__all__ = [
+    "BuiltNetwork",
+    "Fabric",
+    "Link",
+    "build_network",
+    "NodeKind",
+    "NodeSpec",
+    "Topology",
+    "Wire",
+    "rocketfuel_like",
+]

@@ -1,0 +1,102 @@
+"""Build a running multi-host deployment directly from a Topology.
+
+Bridges the planning world (``repro.topology.Topology``, the placement
+engine) and the running world (``NfvHost`` + ``Fabric``): every NFV-host
+node becomes a simulated host, every topology link becomes a pair of
+trunk ports patched through the fabric, and the returned
+``inter_host_ports`` map plugs straight into
+:meth:`repro.core.app.SdnfvApp.deploy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.host import NfvHost
+from repro.sim.simulator import Simulator
+from repro.topology.fabric import Fabric
+from repro.topology.nodes import NodeKind
+from repro.topology.topology import Topology
+
+
+@dataclasses.dataclass
+class BuiltNetwork:
+    """The realized network: hosts, wiring, and the port map."""
+
+    hosts: dict[str, NfvHost]
+    fabric: Fabric
+    inter_host_ports: dict[tuple[str, str], str]
+    topology: Topology
+
+    def host(self, name: str) -> NfvHost:
+        return self.hosts[name]
+
+    def install_transit(self, match, src: str, dst: str) -> list[str]:
+        """Install forwarding rules on intermediate hosts so ``match``
+        traffic can cross from ``src`` to ``dst`` over a multi-hop path.
+
+        Returns the node path used.  Hosts that terminate or originate
+        the traffic get their rules from the service-graph compilation;
+        only the pure-transit middle hops are handled here.
+        """
+        from repro.dataplane.actions import ToPort
+        from repro.dataplane.flow_table import FlowTableEntry
+
+        path = self.topology.shortest_path(src, dst)
+        for previous, current, nxt in zip(path, path[1:], path[2:]):
+            self.hosts[current].install_rule(FlowTableEntry(
+                scope=f"to-{previous}", match=match,
+                actions=(ToPort(f"to-{nxt}"),)))
+        return path
+
+
+def build_network(sim: Simulator, topology: Topology,
+                  costs: HostCosts | None = None,
+                  ingress_port: str = "eth0",
+                  exit_port: str = "eth1",
+                  line_rate_gbps: float = 10.0) -> BuiltNetwork:
+    """Instantiate every NFV-host node and wire the topology's links.
+
+    Each host gets ``ingress_port`` and ``exit_port`` plus one trunk port
+    per attached link, named ``to-<neighbor>``.  Link delays carry over
+    to the fabric wires; link capacities to the trunk line rates.
+    """
+    fabric = Fabric(sim)
+    hosts: dict[str, NfvHost] = {}
+    inter_host_ports: dict[tuple[str, str], str] = {}
+
+    for name in topology.node_names:
+        if topology.node(name).kind is not NodeKind.NFV_HOST:
+            continue
+        trunk_ports = [f"to-{neighbor}"
+                       for neighbor in topology.neighbors(name)]
+        host = NfvHost(sim, name=name, costs=costs,
+                       ports=(ingress_port, exit_port, *trunk_ports),
+                       line_rate_gbps=line_rate_gbps)
+        hosts[name] = host
+        fabric.add_host(host)
+
+    for link in topology.links:
+        if link.a not in hosts or link.b not in hosts:
+            continue
+        fabric.connect(link.a, f"to-{link.b}", link.b, f"to-{link.a}",
+                       delay_ns=link.delay_ns, bidirectional=False)
+        fabric.connect(link.b, f"to-{link.a}", link.a, f"to-{link.b}",
+                       delay_ns=link.delay_ns, bidirectional=False)
+
+    # Next-hop port toward every other host (shortest path).  Multi-hop
+    # pairs additionally need transit rules on the intermediate hosts —
+    # see BuiltNetwork.install_transit.
+    names = list(hosts)
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            path = topology.shortest_path(src, dst)
+            inter_host_ports[(src, dst)] = f"to-{path[1]}"
+
+    return BuiltNetwork(hosts=hosts, fabric=fabric,
+                        inter_host_ports=inter_host_ports,
+                        topology=topology)

@@ -1,0 +1,34 @@
+"""Links: capacity and propagation delay between topology nodes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.units import US
+
+
+@dataclasses.dataclass
+class Link:
+    """A bidirectional link between two nodes.
+
+    ``capacity_gbps`` bounds the traffic the placement engine may route over
+    the link (eq. 8 uses link capacity H); ``delay_ns`` enters the flow
+    delay constraint (eq. 6 uses link delay D).
+    """
+
+    a: str
+    b: str
+    capacity_gbps: float = 10.0
+    delay_ns: int = 50 * US
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-loop link on {self.a!r}")
+        if self.capacity_gbps <= 0:
+            raise ValueError("link capacity must be positive")
+        if self.delay_ns < 0:
+            raise ValueError("link delay must be non-negative")
+
+    @property
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.a, self.b))

@@ -1,0 +1,36 @@
+"""Node descriptions for network topologies.
+
+The placement formulation (paper §3.5) treats every node as a "switch" that
+may also host NF instances, with ``cores`` CPU cores available for NFs
+(eq. 1: services do not share cores).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class NodeKind(enum.Enum):
+    """What a topology node is."""
+
+    SWITCH = "switch"      # forwards only
+    NFV_HOST = "nfv_host"  # forwards and can run NF VMs
+    ENDPOINT = "endpoint"  # traffic source/sink
+
+
+@dataclasses.dataclass
+class NodeSpec:
+    """Static description of one topology node."""
+
+    name: str
+    kind: NodeKind = NodeKind.NFV_HOST
+    cores: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cores < 0:
+            raise ValueError("cores must be non-negative")
+        if self.kind is NodeKind.SWITCH and self.cores:
+            # A pure switch offers no NF cores; normalise silently would hide
+            # a config mistake, so reject instead.
+            raise ValueError("pure switches have no NF cores")

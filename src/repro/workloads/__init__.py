@@ -1,0 +1,37 @@
+"""Traffic generators (the simulation's PktGen-DPDK).
+
+:class:`PktGen` drives a host's NIC ports with configurable flows and
+measures round-trip latency and receive throughput exactly the way the
+paper's traffic generator does (timestamp in the packet, RTT measured at
+return).  Scenario-specific workloads build on it: flow churn (Fig. 10),
+video sessions (Fig. 11), DDoS ramps (Fig. 9), memcached request streams
+(Fig. 12).
+"""
+
+from repro.workloads.attack import DdosRampWorkload
+from repro.workloads.imix import SIMPLE_IMIX, ImixProfile, ImixSource
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.pktgen import FlowSpec, PktGen
+from repro.workloads.sessions import FlowChurnWorkload, VideoSessionWorkload
+from repro.workloads.trace import (
+    TraceRecord,
+    TraceReplayer,
+    trace_from_csv,
+    trace_to_csv,
+)
+
+__all__ = [
+    "DdosRampWorkload",
+    "FlowChurnWorkload",
+    "FlowSpec",
+    "ImixProfile",
+    "ImixSource",
+    "MemcachedWorkload",
+    "PktGen",
+    "SIMPLE_IMIX",
+    "TraceRecord",
+    "TraceReplayer",
+    "VideoSessionWorkload",
+    "trace_from_csv",
+    "trace_to_csv",
+]

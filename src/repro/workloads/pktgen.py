@@ -1,0 +1,145 @@
+"""PktGen: paced traffic flows plus RTT / throughput measurement.
+
+The paper measures with PktGen-DPDK: the generator stamps packets, the
+system under test returns them out a port, and the generator computes
+round-trip latency and receive rate.  :class:`PktGen` reproduces that
+harness around a simulated :class:`~repro.dataplane.host.NfvHost`.
+
+The host-external wire (generator NIC, cables, switch NIC) is modeled as
+``wire_base_rtt_ns ± wire_jitter_ns`` from the host's cost table, added at
+measurement time — the inside-host pipeline is simulated packet by packet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataplane.host import NfvHost
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import ThroughputMeter
+from repro.net.flow import FiveTuple
+from repro.net.packet import Packet, wire_bits
+from repro.sim.randomness import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.sim.units import MS
+
+
+@dataclasses.dataclass
+class FlowSpec:
+    """One generated flow.  ``rate_mbps`` may be changed mid-run."""
+
+    flow: FiveTuple
+    rate_mbps: float
+    packet_size: int = 64
+    start_ns: int = 0
+    stop_ns: int | None = None
+    payload: typing.Callable[[int], str] | str = ""
+    pacing: str = "uniform"  # or "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        if self.packet_size < 64:
+            raise ValueError("packet size below 64-byte minimum")
+        if self.pacing not in ("uniform", "poisson"):
+            raise ValueError(f"unknown pacing {self.pacing!r}")
+
+    def payload_for(self, sequence: int) -> str:
+        if callable(self.payload):
+            return self.payload(sequence)
+        return self.payload
+
+    def interval_ns(self) -> float:
+        """Mean inter-packet gap at the current rate."""
+        return wire_bits(self.packet_size) * 1000.0 / self.rate_mbps
+
+
+class PktGen:
+    """Traffic generator + measurement harness around one host."""
+
+    def __init__(self, sim: Simulator, host: NfvHost,
+                 ingress_port: str = "eth0",
+                 measure_ports: typing.Sequence[str] = ("eth1",),
+                 window_ns: int = 100 * MS,
+                 seed: int = 42) -> None:
+        self.sim = sim
+        self.host = host
+        self.ingress_port = ingress_port
+        self.latency = LatencyRecorder("pktgen-rtt")
+        self.rx_meter = ThroughputMeter(window_ns=window_ns)
+        self.tx_meter = ThroughputMeter(window_ns=window_ns)
+        self.sent = 0
+        self.received = 0
+        self.per_flow_latency: dict[FiveTuple, LatencyRecorder] = {}
+        self._rng = RandomStreams(seed=seed).stream("pktgen")
+        self._stopped = False
+        for port_name in measure_ports:
+            self.host.port(port_name).on_egress = self._on_return
+
+    # ------------------------------------------------------------------
+    # Measurement side
+    # ------------------------------------------------------------------
+    def _on_return(self, packet: Packet) -> None:
+        now = self.sim.now
+        self.received += 1
+        self.rx_meter.record(now, packet.size)
+        costs = self.host.costs
+        jitter = 0
+        if costs.wire_jitter_ns:
+            jitter = int(self._rng.integers(-costs.wire_jitter_ns,
+                                            costs.wire_jitter_ns + 1))
+        rtt = (now - packet.created_at) + costs.wire_base_rtt_ns + jitter
+        self.latency.record(max(0, rtt))
+        recorder = self.per_flow_latency.get(packet.flow)
+        if recorder is not None:
+            recorder.record(max(0, rtt))
+
+    def track_flow(self, flow: FiveTuple) -> LatencyRecorder:
+        """Keep a separate latency series for one flow (Fig. 8)."""
+        recorder = self.per_flow_latency.setdefault(
+            flow, LatencyRecorder(str(flow)))
+        return recorder
+
+    # ------------------------------------------------------------------
+    # Generation side
+    # ------------------------------------------------------------------
+    def add_flow(self, spec: FlowSpec) -> FlowSpec:
+        """Start generating a flow; returns the (mutable) spec handle."""
+        self.sim.process(self._drive(spec))
+        return spec
+
+    def stop(self) -> None:
+        """Stop all generation at the current time."""
+        self._stopped = True
+
+    def _drive(self, spec: FlowSpec):
+        if spec.start_ns:
+            yield self.sim.timeout(spec.start_ns)
+        sequence = 0
+        while not self._stopped:
+            now = self.sim.now
+            if spec.stop_ns is not None and now >= spec.stop_ns:
+                return
+            packet = Packet(flow=spec.flow, size=spec.packet_size,
+                            payload=spec.payload_for(sequence),
+                            created_at=now)
+            self.host.inject(self.ingress_port, packet)
+            self.sent += 1
+            self.tx_meter.record(now, spec.packet_size)
+            sequence += 1
+            mean_gap = spec.interval_ns()
+            if spec.pacing == "poisson":
+                gap = max(1, round(self._rng.exponential(mean_gap)))
+            else:
+                gap = max(1, round(mean_gap))
+            yield self.sim.timeout(gap)
+
+    # ------------------------------------------------------------------
+    def offered_gbps(self) -> float:
+        """Mean offered load over the run so far."""
+        return self.tx_meter.mean_gbps()
+
+    def achieved_gbps(self) -> float:
+        """Mean receive rate over the run so far (what Fig. 7 plots)."""
+        return self.rx_meter.mean_gbps()

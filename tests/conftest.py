@@ -1,0 +1,51 @@
+"""Shared fixtures: simulators, hosts, flows, and a standard chain setup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
+from repro.net import FiveTuple, FlowMatch
+from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def flow() -> FiveTuple:
+    return FiveTuple(src_ip="10.0.0.1", dst_ip="10.0.0.2",
+                     protocol=PROTO_TCP, src_port=1234, dst_port=80)
+
+
+@pytest.fixture
+def udp_flow() -> FiveTuple:
+    return FiveTuple(src_ip="10.0.0.5", dst_ip="10.0.0.6",
+                     protocol=PROTO_UDP, src_port=5000, dst_port=53)
+
+
+@pytest.fixture
+def host(sim: Simulator) -> NfvHost:
+    """A bare two-port host with no rules and no NFs."""
+    return NfvHost(sim, name="host0")
+
+
+def install_chain(host: NfvHost, services: list[str],
+                  in_port: str = "eth0", out_port: str = "eth1",
+                  match: FlowMatch | None = None) -> None:
+    """Install a linear service chain in_port -> s1 -> ... -> out_port."""
+    match = match or FlowMatch.any()
+    hops = [ToService(service) for service in services] + [ToPort(out_port)]
+    host.install_rule(FlowTableEntry(scope=in_port, match=match,
+                                     actions=(hops[0],)))
+    for service, nxt in zip(services, hops[1:]):
+        host.install_rule(FlowTableEntry(scope=service, match=match,
+                                         actions=(nxt,)))
+
+
+def drain(sim: Simulator, until_ns: int) -> None:
+    """Run the simulator for a bounded window."""
+    sim.run(until=until_ns)

@@ -1,0 +1,131 @@
+"""Overload monitoring and automatic replica scaling."""
+
+import pytest
+
+from repro.control import NfvOrchestrator
+from repro.core import SdnfvApp
+from repro.dataplane import NfvHost
+from repro.net import FiveTuple, Packet
+from repro.nfs import ComputeNf, NoOpNf
+from repro.sim import MS, S, Simulator
+
+from tests.conftest import install_chain
+
+
+class TestOverloadMonitor:
+    def test_parameter_validation(self, sim, host):
+        with pytest.raises(ValueError):
+            host.manager.start_overload_monitor(0, 10, lambda s, d: None)
+        with pytest.raises(ValueError):
+            host.manager.start_overload_monitor(10, 0, lambda s, d: None)
+
+    def test_fires_once_on_sustained_overload(self, sim, flow):
+        host = NfvHost(sim, name="ov0")
+        host.add_nf(ComputeNf("svc", cost_ns=100_000), ring_slots=4096)
+        install_chain(host, ["svc"])
+        alarms = []
+        host.manager.start_overload_monitor(
+            interval_ns=1 * MS, threshold_slots=20,
+            callback=lambda service, depth: alarms.append(
+                (sim.now, service, depth)),
+            consecutive=3)
+
+        def flood():
+            for _ in range(600):
+                host.inject("eth0", Packet(flow=flow, size=128))
+                yield sim.timeout(20_000)
+
+        sim.process(flood())
+        sim.run(until=60 * MS)
+        assert len(alarms) == 1
+        assert alarms[0][1] == "svc"
+        assert alarms[0][2] > 20
+
+    def test_no_alarm_for_transient_spike(self, sim, flow):
+        host = NfvHost(sim, name="ov1")
+        host.add_nf(NoOpNf("svc"), ring_slots=4096)
+        install_chain(host, ["svc"])
+        alarms = []
+        host.manager.start_overload_monitor(
+            interval_ns=1 * MS, threshold_slots=5,
+            callback=lambda s, d: alarms.append(s), consecutive=3)
+        # A one-shot burst the no-op VM drains immediately.
+        for _ in range(50):
+            host.inject("eth0", Packet(flow=flow, size=128))
+        sim.run(until=20 * MS)
+        assert not alarms
+
+
+class TestAutoscaling:
+    def _overloaded_host(self, sim):
+        orchestrator = NfvOrchestrator(sim)
+        app = SdnfvApp(sim, orchestrator=orchestrator)
+        host = NfvHost(sim, name="as0")
+        app.register_host(host)
+        host.add_nf(ComputeNf("svc", cost_ns=60_000), ring_slots=8192)
+        install_chain(host, ["svc"])
+        return app, host, orchestrator
+
+    def _flood(self, sim, host, flow, count=4000, gap_ns=20_000):
+        def generator():
+            for i in range(count):
+                spread = FiveTuple(flow.src_ip, flow.dst_ip,
+                                   flow.protocol, 1000 + i % 64, 80)
+                host.inject("eth0", Packet(flow=spread, size=128))
+                yield sim.timeout(gap_ns)
+
+        sim.process(generator())
+
+    def test_replica_booted_under_load(self, sim, flow):
+        app, host, orchestrator = self._overloaded_host(sim)
+        app.enable_autoscaling(
+            host, {"svc": lambda: ComputeNf("svc", cost_ns=60_000)},
+            interval_ns=2 * MS, threshold_slots=50, max_replicas=3)
+        self._flood(sim, host, flow)
+        sim.run(until=1 * S)
+        assert len(host.manager.vms_by_service["svc"]) >= 2
+        assert orchestrator.launches
+        # Fast launch mode used (not the 7.75 s cold boot).
+        assert orchestrator.launches[0].mode == "standby_process"
+
+    def test_max_replicas_respected(self, sim, flow):
+        app, host, orchestrator = self._overloaded_host(sim)
+        app.enable_autoscaling(
+            host, {"svc": lambda: ComputeNf("svc", cost_ns=60_000)},
+            interval_ns=1 * MS, threshold_slots=10, max_replicas=2)
+        self._flood(sim, host, flow, count=8000, gap_ns=10_000)
+        sim.run(until=1 * S)
+        assert len(host.manager.vms_by_service["svc"]) <= 2
+
+    def test_unknown_service_ignored(self, sim, flow):
+        app, host, orchestrator = self._overloaded_host(sim)
+        app.enable_autoscaling(
+            host, {"other": lambda: NoOpNf("other")},
+            interval_ns=1 * MS, threshold_slots=10)
+        self._flood(sim, host, flow)
+        sim.run(until=200 * MS)
+        assert len(host.manager.vms_by_service["svc"]) == 1
+
+    def test_autoscaling_needs_orchestrator(self, sim, host):
+        app = SdnfvApp(sim)
+        app.register_host(host)
+        with pytest.raises(RuntimeError):
+            app.enable_autoscaling(host, {})
+
+    def test_scaling_improves_throughput(self, sim, flow):
+        """With a second replica the service drains roughly twice as
+        fast — the load balancer spreads across both."""
+        app, host, orchestrator = self._overloaded_host(sim)
+        app.enable_autoscaling(
+            host, {"svc": lambda: ComputeNf("svc", cost_ns=60_000)},
+            interval_ns=2 * MS, threshold_slots=50, max_replicas=2)
+        out = []
+        host.port("eth1").on_egress = lambda p: out.append(sim.now)
+        # Keep offering load well past the replica's ~260 ms launch so
+        # the balancer has live traffic to spread.
+        self._flood(sim, host, flow, count=24_000, gap_ns=25_000)
+        sim.run(until=2 * S)
+        replicas = host.manager.vms_by_service["svc"]
+        assert len(replicas) == 2
+        # Both replicas did real work after the scale-out.
+        assert min(vm.packets_processed for vm in replicas) > 100

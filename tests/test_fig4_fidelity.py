@@ -1,0 +1,144 @@
+"""Fig. 4 fidelity: the paper's flow-table example, reproduced exactly.
+
+Fig. 4 shows the simplified Video Optimizer (eth0 → VD → PE → TC → C →
+eth1) with its initial wildcard rules, then two flows given distinct
+per-flow rules:
+
+    Service  Match     Action            (initial, left table)
+    eth0     *         (VD)
+    VD       *         (PE, eth1)
+    PE       *         (TC, C)
+    TC       *         (C)
+    C        *         (eth1)
+
+    Service  Match     Action            (added, right table)
+    eth0     srcIP=B   (PE)
+    VD       srcIP=B   —  [B goes straight to PE]
+    PE       srcIP=B   (TC)
+    eth0     srcIP=G   (PE)
+    PE       srcIP=G   (C, TC)
+
+Green (G) bypasses the transcoder; Blue (B) is transcoded.  The paper
+then notes "after some time the Policy Engine may redirect the Green
+flow to the transcoder" — which we also exercise.
+"""
+
+import pytest
+
+from repro.dataplane import (
+    ChangeDefault,
+    FlowTableEntry,
+    NfvHost,
+    ToPort,
+    ToService,
+)
+from repro.net import FiveTuple, FlowMatch, Packet
+from repro.net.headers import PROTO_TCP
+from repro.nfs import CounterNf
+from repro.sim import MS, Simulator
+
+GREEN = FiveTuple("10.0.0.71", "10.9.0.1", PROTO_TCP, 80, 20001)  # G
+BLUE = FiveTuple("10.0.0.66", "10.9.0.2", PROTO_TCP, 80, 20002)   # B
+
+
+@pytest.fixture
+def fig4_host(sim):
+    host = NfvHost(sim, name="fig4")
+    for service in ("VD", "PE", "TC", "C"):
+        host.add_nf(CounterNf(service))
+    # Left table: the initial wildcard rules.
+    initial = [
+        FlowTableEntry(scope="eth0", match=FlowMatch.any(),
+                       actions=(ToService("VD"),)),
+        FlowTableEntry(scope="VD", match=FlowMatch.any(),
+                       actions=(ToService("PE"), ToPort("eth1"))),
+        FlowTableEntry(scope="PE", match=FlowMatch.any(),
+                       actions=(ToService("TC"), ToService("C"))),
+        FlowTableEntry(scope="TC", match=FlowMatch.any(),
+                       actions=(ToService("C"),)),
+        FlowTableEntry(scope="C", match=FlowMatch.any(),
+                       actions=(ToPort("eth1"),)),
+    ]
+    host.install_rules(initial)
+    # Right table: per-flow rules for the Blue and Green flows.
+    blue = FlowMatch(src_ip=BLUE.src_ip)
+    green = FlowMatch(src_ip=GREEN.src_ip)
+    host.install_rules([
+        FlowTableEntry(scope="eth0", match=blue,
+                       actions=(ToService("PE"),)),
+        FlowTableEntry(scope="PE", match=blue,
+                       actions=(ToService("TC"),)),
+        FlowTableEntry(scope="eth0", match=green,
+                       actions=(ToService("PE"),)),
+        FlowTableEntry(scope="PE", match=green,
+                       actions=(ToService("C"), ToService("TC"))),
+    ])
+    return host
+
+
+def _run(sim, host, flows, count=3):
+    out = []
+    host.port("eth1").on_egress = out.append
+    for flow in flows:
+        for _ in range(count):
+            host.inject("eth0", Packet(flow=flow, size=512))
+    sim.run(until=20 * MS)
+    return out
+
+
+class TestFig4Tables:
+    def test_green_flow_bypasses_transcoder(self, sim, fig4_host):
+        nfs = {vm.service_id: vm.nf
+               for vms in fig4_host.manager.vms_by_service.values()
+               for vm in vms}
+        out = _run(sim, fig4_host, [GREEN])
+        assert len(out) == 3
+        # Green: eth0 -> PE -> C -> eth1 (skips VD and TC).
+        assert nfs["PE"].packets_seen == 3
+        assert nfs["C"].packets_seen == 3
+        assert nfs["VD"].packets_seen == 0
+        assert nfs["TC"].packets_seen == 0
+
+    def test_blue_flow_is_transcoded(self, sim, fig4_host):
+        nfs = {vm.service_id: vm.nf
+               for vms in fig4_host.manager.vms_by_service.values()
+               for vm in vms}
+        out = _run(sim, fig4_host, [BLUE])
+        assert len(out) == 3
+        # Blue: eth0 -> PE -> TC -> C -> eth1.
+        assert nfs["PE"].packets_seen == 3
+        assert nfs["TC"].packets_seen == 3
+        assert nfs["C"].packets_seen == 3
+        assert nfs["VD"].packets_seen == 0
+
+    def test_other_flows_take_the_wildcard_path(self, sim, fig4_host):
+        nfs = {vm.service_id: vm.nf
+               for vms in fig4_host.manager.vms_by_service.values()
+               for vm in vms}
+        other = FiveTuple("10.0.0.9", "10.9.0.3", PROTO_TCP, 80, 20003)
+        out = _run(sim, fig4_host, [other])
+        assert len(out) == 3
+        # Default path: VD -> PE -> TC -> C.
+        assert nfs["VD"].packets_seen == 3
+        assert nfs["TC"].packets_seen == 3
+
+    def test_paper_note_pe_redirects_green_to_transcoder(self, sim,
+                                                         fig4_host):
+        """'after some time the Policy Engine may redirect the Green flow
+        to the transcoder instead of going directly to the cache'."""
+        nfs = {vm.service_id: vm.nf
+               for vms in fig4_host.manager.vms_by_service.values()
+               for vm in vms}
+        fig4_host.manager.apply_message(ChangeDefault(
+            sender_service="PE",
+            flows=FlowMatch(src_ip=GREEN.src_ip),
+            service="PE", target="TC"))
+        out = _run(sim, fig4_host, [GREEN])
+        assert len(out) == 3
+        assert nfs["TC"].packets_seen == 3  # now transcoded
+
+    def test_dump_resembles_paper_tables(self, sim, fig4_host):
+        text = fig4_host.flow_table.dump()
+        assert "src=10.0.0.66" in text  # the Blue per-flow rules
+        assert "(svc:TC, svc:C)" in text  # PE's wildcard action list
+        assert "(svc:C, svc:TC)" in text  # Green's PE rule, C first

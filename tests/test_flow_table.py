@@ -1,0 +1,212 @@
+"""Flow table semantics: scoping, precedence, specialization, generations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane import Drop, FlowTable, FlowTableEntry, ToPort, ToService
+from repro.net import FiveTuple, FlowMatch
+from repro.net.headers import PROTO_TCP
+
+
+@pytest.fixture
+def table():
+    return FlowTable()
+
+
+def entry(scope="svc", match=None, actions=None, **kw):
+    if actions is None:
+        actions = (ToPort("eth1"),)
+    return FlowTableEntry(scope=scope, match=match or FlowMatch.any(),
+                          actions=actions, **kw)
+
+
+class TestEntry:
+    def test_needs_actions(self):
+        with pytest.raises(ValueError):
+            entry(actions=())
+
+    def test_default_is_first(self):
+        rule = entry(actions=(ToService("a"), ToService("b")))
+        assert rule.default_action == ToService("a")
+
+    def test_allows_listed_actions_and_drop(self):
+        rule = entry(actions=(ToService("a"), ToPort("eth1")))
+        assert rule.allows(ToService("a"))
+        assert rule.allows(ToPort("eth1"))
+        assert rule.allows(Drop())
+        assert not rule.allows(ToService("other"))
+
+    def test_with_default_moves_existing_action_to_front(self):
+        rule = entry(actions=(ToService("a"), ToService("b")))
+        updated = rule.with_default(ToService("b"))
+        assert updated.actions == (ToService("b"), ToService("a"))
+
+    def test_with_default_prepends_new_action(self):
+        rule = entry(actions=(ToService("a"),))
+        updated = rule.with_default(ToPort("fast"))
+        assert updated.actions == (ToPort("fast"), ToService("a"))
+
+    def test_parallel_requires_multiple_service_actions(self):
+        with pytest.raises(ValueError):
+            entry(actions=(ToService("a"),), parallel=True)
+        with pytest.raises(ValueError):
+            entry(actions=(ToService("a"), ToPort("eth1")), parallel=True)
+        entry(actions=(ToService("a"), ToService("b")), parallel=True)
+
+
+class TestLookup:
+    def test_miss_returns_none_and_counts(self, table, flow):
+        assert table.lookup("svc", flow) is None
+        assert table.misses == 1
+        assert table.lookups == 1
+
+    def test_scope_isolation(self, table, flow):
+        table.install(entry(scope="svc_a"))
+        assert table.lookup("svc_b", flow) is None
+        assert table.lookup("svc_a", flow) is not None
+
+    def test_exact_beats_wildcard(self, table, flow):
+        table.install(entry(actions=(ToPort("wild"),)))
+        table.install(entry(match=FlowMatch.exact(flow),
+                            actions=(ToPort("exact"),)))
+        assert table.lookup("svc", flow).default_action == ToPort("exact")
+
+    def test_higher_priority_wildcard_wins(self, table, flow):
+        table.install(entry(actions=(ToPort("low"),), priority=0))
+        table.install(entry(match=FlowMatch(protocol=PROTO_TCP),
+                            actions=(ToPort("high"),), priority=5))
+        assert table.lookup("svc", flow).default_action == ToPort("high")
+
+    def test_specificity_breaks_priority_ties(self, table, flow):
+        table.install(entry(actions=(ToPort("any"),)))
+        table.install(entry(match=FlowMatch(dst_port=80),
+                            actions=(ToPort("port80"),)))
+        assert table.lookup("svc", flow).default_action == ToPort("port80")
+
+    def test_insertion_order_breaks_full_ties(self, table, flow):
+        table.install(entry(match=FlowMatch(dst_port=80),
+                            actions=(ToPort("first"),)))
+        table.install(entry(match=FlowMatch(protocol=PROTO_TCP),
+                            actions=(ToPort("second"),)))
+        assert table.lookup("svc", flow).default_action == ToPort("second")
+
+    def test_non_matching_wildcard_skipped(self, table, flow):
+        table.install(entry(match=FlowMatch(dst_port=443),
+                            actions=(ToPort("https"),)))
+        assert table.lookup("svc", flow) is None
+
+
+class TestMutation:
+    def test_install_replaces_same_match(self, table, flow):
+        table.install(entry(actions=(ToPort("old"),)))
+        table.install(entry(actions=(ToPort("new"),)))
+        assert len(table) == 1
+        assert table.lookup("svc", flow).default_action == ToPort("new")
+
+    def test_remove_exact(self, table, flow):
+        table.install(entry(match=FlowMatch.exact(flow)))
+        assert table.remove("svc", FlowMatch.exact(flow))
+        assert table.lookup("svc", flow) is None
+        assert not table.remove("svc", FlowMatch.exact(flow))
+
+    def test_remove_wildcard(self, table, flow):
+        table.install(entry())
+        assert table.remove("svc", FlowMatch.any())
+        assert len(table) == 0
+
+    def test_generation_bumps_on_every_mutation(self, table, flow):
+        start = table.generation
+        table.install(entry())
+        assert table.generation == start + 1
+        table.remove("svc", FlowMatch.any())
+        assert table.generation == start + 2
+        table.clear()
+        assert table.generation == start + 3
+
+    def test_lookup_does_not_bump_generation(self, table, flow):
+        table.install(entry())
+        generation = table.generation
+        table.lookup("svc", flow)
+        assert table.generation == generation
+
+
+class TestSpecialize:
+    def test_clones_wildcard_into_exact(self, table, flow):
+        table.install(entry(actions=(ToService("a"), ToService("b"))))
+        exact = table.specialize("svc", flow)
+        assert exact.match == FlowMatch.exact(flow)
+        assert exact.actions == (ToService("a"), ToService("b"))
+        assert len(table) == 2
+
+    def test_existing_exact_returned_unchanged(self, table, flow):
+        table.install(entry(match=FlowMatch.exact(flow)))
+        first = table.specialize("svc", flow)
+        second = table.specialize("svc", flow)
+        assert first is second
+        assert len(table) == 1
+
+    def test_specialize_without_match_returns_none(self, table, flow):
+        assert table.specialize("svc", flow) is None
+
+    def test_specialized_flow_diverges_from_wildcard(self, table, flow,
+                                                     udp_flow):
+        table.install(entry(actions=(ToService("a"), ToService("b"))))
+        exact = table.specialize("svc", flow)
+        table.install(exact.with_default(ToService("b")))
+        assert table.lookup("svc", flow).default_action == ToService("b")
+        assert table.lookup("svc", udp_flow).default_action == ToService("a")
+
+
+class TestIntrospection:
+    def test_entries_and_scopes(self, table, flow):
+        table.install(entry(scope="a"))
+        table.install(entry(scope="b", match=FlowMatch.exact(flow)))
+        assert table.scopes() == {"a", "b"}
+        assert len(table.entries()) == 2
+        assert len(table.entries("a")) == 1
+
+    def test_dump_renders(self, table, flow):
+        table.install(entry(scope="eth0", actions=(ToService("vd"),)))
+        table.install(entry(
+            scope="vd", match=FlowMatch(src_ip="10.0.0.1"),
+            actions=(ToService("pe"), ToPort("eth1"))))
+        text = table.dump()
+        assert "eth0" in text and "svc:vd" in text
+        assert "src=10.0.0.1" in text
+
+
+ips = st.sampled_from(["10.0.0.1", "10.0.0.2", "10.1.0.1"])
+ports_st = st.sampled_from([80, 443, 8080])
+flows_st = st.builds(FiveTuple, src_ip=ips, dst_ip=ips,
+                     protocol=st.just(PROTO_TCP),
+                     src_port=ports_st, dst_port=ports_st)
+
+
+class TestProperties:
+    @given(flows=st.lists(flows_st, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_result_always_matches_flow(self, flows):
+        table = FlowTable()
+        table.install(entry(match=FlowMatch(dst_port=80)))
+        table.install(entry(match=FlowMatch(src_ip="10.0.0.1")))
+        for flow in flows:
+            rule = table.lookup("svc", flow)
+            if rule is not None:
+                assert rule.match.matches(flow)
+            else:
+                assert flow.dst_port != 80 and flow.src_ip != "10.0.0.1"
+
+    @given(flows=st.lists(flows_st, min_size=1, max_size=10, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_specialization_never_changes_behaviour(self, flows):
+        """Specializing a flow must not alter any flow's default action."""
+        table = FlowTable()
+        table.install(entry(actions=(ToService("x"), ToService("y"))))
+        before = {flow: table.lookup("svc", flow).default_action
+                  for flow in flows}
+        for flow in flows:
+            table.specialize("svc", flow)
+        after = {flow: table.lookup("svc", flow).default_action
+                 for flow in flows}
+        assert before == after

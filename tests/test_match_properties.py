@@ -1,0 +1,76 @@
+"""Property-based tests for FlowMatch algebra: matches vs subsumes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FiveTuple, FlowMatch
+from repro.net.headers import PROTO_TCP, PROTO_UDP, ip_to_str
+
+ips = st.sampled_from(["10.0.0.1", "10.0.0.2", "10.1.0.1", "192.168.5.9"])
+ports = st.sampled_from([80, 443, 8080, 11211])
+protocols = st.sampled_from([PROTO_TCP, PROTO_UDP])
+
+flows = st.builds(FiveTuple, src_ip=ips, dst_ip=ips, protocol=protocols,
+                  src_port=ports, dst_port=ports)
+
+
+@st.composite
+def matches(draw):
+    src_ip = draw(st.one_of(st.none(), ips))
+    prefix = 32
+    if src_ip is not None:
+        prefix = draw(st.sampled_from([8, 16, 24, 32]))
+    return FlowMatch(
+        src_ip=src_ip,
+        dst_ip=draw(st.one_of(st.none(), ips)),
+        protocol=draw(st.one_of(st.none(), protocols)),
+        src_port=draw(st.one_of(st.none(), ports)),
+        dst_port=draw(st.one_of(st.none(), ports)),
+        src_prefix_bits=prefix,
+    )
+
+
+class TestSubsumptionAlgebra:
+    @given(match=matches())
+    @settings(max_examples=100, deadline=None)
+    def test_reflexive(self, match):
+        assert match.subsumes(match)
+
+    @given(a=matches(), b=matches(), flow=flows)
+    @settings(max_examples=300, deadline=None)
+    def test_subsumption_implies_match_containment(self, a, b, flow):
+        """If A subsumes B, every flow B matches, A matches too."""
+        if a.subsumes(b) and b.matches(flow):
+            assert a.matches(flow)
+
+    @given(a=matches(), b=matches(), c=matches())
+    @settings(max_examples=200, deadline=None)
+    def test_transitive(self, a, b, c):
+        if a.subsumes(b) and b.subsumes(c):
+            assert a.subsumes(c)
+
+    @given(match=matches())
+    @settings(max_examples=100, deadline=None)
+    def test_any_is_top(self, match):
+        assert FlowMatch.any().subsumes(match)
+
+    @given(flow=flows, match=matches())
+    @settings(max_examples=200, deadline=None)
+    def test_exact_is_bottom(self, flow, match):
+        exact = FlowMatch.exact(flow)
+        if match.matches(flow):
+            assert match.subsumes(exact)
+        else:
+            assert not match.subsumes(exact)
+
+    @given(flow=flows)
+    @settings(max_examples=100, deadline=None)
+    def test_specificity_antitone_with_subsumption(self, flow):
+        """Strictly removing a constraint can only widen the match."""
+        exact = FlowMatch.exact(flow)
+        widened = FlowMatch(src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                            protocol=flow.protocol,
+                            src_port=flow.src_port, dst_port=None)
+        assert widened.subsumes(exact)
+        assert widened.specificity < exact.specificity

@@ -1,0 +1,153 @@
+"""Metrics instrumentation tests."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    comparison_table,
+    series_table,
+)
+from repro.net.packet import wire_bits
+from repro.sim.units import MS, S, US
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        recorder = LatencyRecorder()
+        for value in (10 * US, 20 * US, 30 * US):
+            recorder.record(value)
+        assert recorder.mean_us() == pytest.approx(20.0)
+        assert recorder.min_us() == pytest.approx(10.0)
+        assert recorder.max_us() == pytest.approx(30.0)
+        assert len(recorder) == 3
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for i in range(1, 101):
+            recorder.record(i * US)
+        assert recorder.percentile_us(50) == pytest.approx(50.5)
+        assert recorder.percentile_us(99) == pytest.approx(99.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_empty_statistics_raise(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean_us()
+
+    def test_cdf_points_monotone(self):
+        recorder = LatencyRecorder()
+        for i in range(1000):
+            recorder.record((i % 37 + 1) * US)
+        points = recorder.cdf_points(points=50)
+        assert len(points) == 50
+        xs = [x for x, _y in points]
+        ys = [y for _x, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_summary_dict(self):
+        recorder = LatencyRecorder()
+        recorder.record(5 * US)
+        summary = recorder.summary()
+        assert summary["count"] == 1
+        assert summary["avg_us"] == pytest.approx(5.0)
+
+
+class TestThroughputMeter:
+    def test_gbps_accounting_includes_wire_overhead(self):
+        meter = ThroughputMeter(window_ns=1 * MS)
+        # 1000 packets of 1000 B in 1 ms.
+        for i in range(1000):
+            meter.record(i * 1000, 1000)
+        series = meter.gbps_series()
+        assert len(series) == 1
+        expected = 1000 * wire_bits(1000) / MS
+        assert series[0][1] == pytest.approx(expected)
+
+    def test_without_overhead(self):
+        meter = ThroughputMeter(window_ns=1 * MS,
+                                count_wire_overhead=False)
+        meter.record(0, 1000)
+        assert meter.total_bits == 8000
+
+    def test_pps_series(self):
+        meter = ThroughputMeter(window_ns=1 * MS)
+        for i in range(500):
+            meter.record(i * 2000, 64)
+        times, rates = zip(*meter.pps_series())
+        assert rates[0] == pytest.approx(500_000)
+
+    def test_mean_over_window(self):
+        meter = ThroughputMeter(window_ns=1 * MS)
+        meter.record(0, 1000)
+        meter.record(5 * MS, 1000)
+        full = meter.mean_gbps(0, 6 * MS)
+        early = meter.mean_gbps(0, 1 * MS)
+        assert early == pytest.approx(wire_bits(1000) / MS)
+        assert full == pytest.approx(2 * wire_bits(1000) / (6 * MS))
+
+    def test_empty_meter_mean_zero(self):
+        assert ThroughputMeter().mean_gbps() == 0.0
+
+    def test_batched_packets(self):
+        meter = ThroughputMeter(window_ns=MS)
+        meter.record(0, 64, packets=10)
+        assert meter.total_packets == 10
+
+
+class TestTimeSeries:
+    def test_points_in_seconds(self):
+        series = TimeSeries()
+        series.append(1 * S, 5.0)
+        series.append(2 * S, 7.0)
+        assert series.points() == [(1.0, 5.0), (2.0, 7.0)]
+
+    def test_time_must_not_decrease(self):
+        series = TimeSeries()
+        series.append(10, 1.0)
+        with pytest.raises(ValueError):
+            series.append(5, 2.0)
+
+    def test_step_interpolation(self):
+        series = TimeSeries()
+        series.append(10, 1.0)
+        series.append(20, 2.0)
+        assert series.value_at(15) == 1.0
+        assert series.value_at(20) == 2.0
+        with pytest.raises(ValueError):
+            series.value_at(5)
+
+    def test_window_mean(self):
+        series = TimeSeries()
+        for t, v in [(0, 1.0), (10, 3.0), (20, 5.0)]:
+            series.append(t, v)
+        assert series.window_mean(0, 15) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            series.window_mean(100, 200)
+
+
+class TestReporting:
+    def test_comparison_table_renders_all_rows(self):
+        text = comparison_table("Table 2", [
+            ("0VM (dpdk)", "26.66 us", "26.70 us"),
+            ("1VM", "27.78 us", "27.75 us"),
+        ])
+        assert "Table 2" in text
+        assert "26.66 us" in text and "27.75 us" in text
+        assert text.count("\n") == 4
+
+    def test_series_table_alignment_and_floats(self):
+        text = series_table("Fig 7", {
+            "size": [64, 1024],
+            "gbps": [5.01234, 9.9],
+        })
+        assert "5.012" in text and "9.900" in text
+
+    def test_series_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table("bad", {"a": [1], "b": [1, 2]})

@@ -1,0 +1,264 @@
+"""Multi-host service chains over the Fabric (Fig. 3's deployment) and
+the placement → deployment bridge."""
+
+import pytest
+
+from repro.core import EXIT, SdnfvApp, ServiceGraph
+from repro.core.placement import (
+    DivisionSolver,
+    FlowRequest,
+    PlacementProblem,
+)
+from repro.dataplane import NfvHost
+from repro.net import FiveTuple, FlowMatch, Packet
+from repro.nfs import CounterNf, NoOpNf
+from repro.sim import MS, S, Simulator
+from repro.topology import Fabric
+from repro.topology import Link, NodeSpec, Topology
+
+
+def two_host_graph():
+    graph = ServiceGraph("split")
+    graph.add_service("a", read_only=True)
+    graph.add_service("b", read_only=True)
+    graph.add_service("c", read_only=True)
+    graph.add_edge("a", "b", default=True)
+    graph.add_edge("b", "c", default=True)
+    graph.add_edge("c", EXIT, default=True)
+    graph.set_entry("a")
+    return graph
+
+
+@pytest.fixture
+def two_hosts(sim):
+    app = SdnfvApp(sim)
+    host1 = NfvHost(sim, name="host1", ports=("eth0", "eth1", "trunk"))
+    host2 = NfvHost(sim, name="host2", ports=("eth0", "eth1", "trunk"))
+    app.register_host(host1)
+    app.register_host(host2)
+    fabric = Fabric(sim)
+    fabric.add_host(host1)
+    fabric.add_host(host2)
+    fabric.connect("host1", "trunk", "host2", "eth0")
+    return app, host1, host2, fabric
+
+
+class TestFabric:
+    def test_duplicate_host_rejected(self, sim, host):
+        fabric = Fabric(sim)
+        fabric.add_host(host)
+        with pytest.raises(ValueError):
+            fabric.add_host(host)
+
+    def test_unknown_host_rejected(self, sim, host):
+        fabric = Fabric(sim)
+        fabric.add_host(host)
+        with pytest.raises(KeyError):
+            fabric.connect("host0", "eth1", "ghost", "eth0")
+
+    def test_double_wiring_a_port_rejected(self, sim):
+        fabric = Fabric(sim)
+        a = NfvHost(sim, name="a")
+        b = NfvHost(sim, name="b")
+        c = NfvHost(sim, name="c")
+        for host in (a, b, c):
+            fabric.add_host(host)
+        fabric.connect("a", "eth1", "b", "eth0", bidirectional=False)
+        with pytest.raises(ValueError):
+            fabric.connect("a", "eth1", "c", "eth0", bidirectional=False)
+
+    def test_wire_carries_frames_with_delay(self, sim, flow):
+        fabric = Fabric(sim)
+        a = NfvHost(sim, name="a")
+        b = NfvHost(sim, name="b")
+        fabric.add_host(a)
+        fabric.add_host(b)
+        fabric.connect("a", "eth1", "b", "eth0", delay_ns=100_000,
+                       bidirectional=False)
+        from repro.dataplane import FlowTableEntry, ToPort
+        a.install_rule(FlowTableEntry(scope="eth0", match=FlowMatch.any(),
+                                      actions=(ToPort("eth1"),)))
+        b.install_rule(FlowTableEntry(scope="eth0", match=FlowMatch.any(),
+                                      actions=(ToPort("eth1"),)))
+        out = []
+        b.port("eth1").on_egress = lambda p: out.append(sim.now)
+        a.inject("eth0", Packet(flow=flow, size=128))
+        sim.run(until=5 * MS)
+        assert len(out) == 1
+        assert out[0] > 100_000  # wire delay applied
+        assert fabric.frames_carried == 1
+
+
+class TestMultiHostDeployment:
+    def test_chain_split_across_hosts(self, sim, two_hosts, flow):
+        app, host1, host2, fabric = two_hosts
+        host1.add_nf(CounterNf("a"))
+        host1.add_nf(CounterNf("b"))
+        c_nf = CounterNf("c")
+        host2.add_nf(c_nf)
+        graph = two_host_graph()
+        placement = {"a": "host1", "b": "host1", "c": "host2"}
+        ports = {("host1", "host2"): "trunk",
+                 ("host2", "host1"): "trunk"}
+        # Compile each host's share.  host2's ingress for this graph is
+        # the port where the trunk lands (eth0).
+        host1.install_rules(graph.compile_rules(
+            ingress_port="eth0", exit_port="eth1", placement=placement,
+            host="host1", inter_host_ports=ports))
+        host2.install_rules(graph.compile_rules(
+            ingress_port="eth0", exit_port="eth1", placement=placement,
+            host="host2", inter_host_ports=ports))
+        out = []
+        host2.port("eth1").on_egress = out.append
+        for _ in range(5):
+            host1.inject("eth0", Packet(flow=flow, size=256))
+        sim.run(until=20 * MS)
+        assert len(out) == 5
+        assert host1.stats.per_service_packets["a"] == 5
+        assert host1.stats.per_service_packets["b"] == 5
+        assert c_nf.packets_seen == 5
+        assert fabric.frames_carried == 5
+
+    def test_app_deploy_with_placement(self, sim, two_hosts, flow):
+        app, host1, host2, _fabric = two_hosts
+        host1.add_nf(NoOpNf("a"))
+        host1.add_nf(NoOpNf("b"))
+        host2.add_nf(NoOpNf("c"))
+        graph = two_host_graph()
+        app.deploy(graph, ingress_port="eth0", exit_port="eth1",
+                   placement={"a": "host1", "b": "host1", "c": "host2"},
+                   inter_host_ports={("host1", "host2"): "trunk",
+                                     ("host2", "host1"): "trunk"})
+        out = []
+        host2.port("eth1").on_egress = out.append
+        for _ in range(3):
+            host1.inject("eth0", Packet(flow=flow, size=256))
+        sim.run(until=20 * MS)
+        assert len(out) == 3
+
+
+class TestPlacementBridge:
+    def _problem(self):
+        topology = Topology()
+        for name in ("host1", "host2"):
+            topology.add_node(NodeSpec(name=name, cores=2))
+        topology.add_link(Link(a="host1", b="host2"))
+        flow = FlowRequest(flow_id="f0", entry="host1", exit="host2",
+                           chain=("a", "b", "c"), bandwidth_gbps=0.1)
+        return PlacementProblem(topology=topology, flows=[flow],
+                                flows_per_core={"a": 4, "b": 4, "c": 4})
+
+    def test_placement_for_yields_service_map(self):
+        problem = self._problem()
+        result = DivisionSolver(batch_size=1,
+                                time_limit_per_batch_s=10).solve(problem)
+        mapping = result.placement_for(problem.flows[0])
+        assert set(mapping) == {"a", "b", "c"}
+        assert set(mapping.values()) <= {"host1", "host2"}
+
+    def test_placement_for_unplaced_flow_raises(self):
+        problem = self._problem()
+        result = DivisionSolver(batch_size=1,
+                                time_limit_per_batch_s=10).solve(problem)
+        ghost = FlowRequest(flow_id="ghost", entry="host1", exit="host2",
+                            chain=("a",))
+        with pytest.raises(KeyError):
+            result.placement_for(ghost)
+
+    def test_placed_flow_runs_on_fabric(self, sim):
+        """Placement engine output drives a real multi-host deployment."""
+        problem = self._problem()
+        result = DivisionSolver(batch_size=1,
+                                time_limit_per_batch_s=10).solve(problem)
+        mapping = result.placement_for(problem.flows[0])
+
+        app = SdnfvApp(sim)
+        hosts = {}
+        for name in ("host1", "host2"):
+            hosts[name] = NfvHost(sim, name=name,
+                                  ports=("eth0", "eth1", "trunk"))
+            app.register_host(hosts[name])
+        fabric = Fabric(sim)
+        for host in hosts.values():
+            fabric.add_host(host)
+        fabric.connect("host1", "trunk", "host2", "eth0")
+        fabric.connect("host2", "trunk", "host1", "eth0",
+                       bidirectional=False)
+        for service, node in mapping.items():
+            hosts[node].add_nf(NoOpNf(service))
+
+        graph = two_host_graph()
+        app.deploy(graph, ingress_port="eth0", exit_port="eth1",
+                   placement=mapping,
+                   inter_host_ports={("host1", "host2"): "trunk",
+                                     ("host2", "host1"): "trunk"})
+        exit_host = hosts[mapping["c"]]
+        out = []
+        exit_host.port("eth1").on_egress = out.append
+        entry_host = hosts[mapping["a"]]
+        flow = FiveTuple("10.0.0.1", "10.0.0.2", 6, 1, 80)
+        entry_host.inject("eth0", Packet(flow=flow, size=256))
+        sim.run(until=20 * MS)
+        assert len(out) == 1
+
+
+class TestTelemetryAndFailure:
+    def test_periodic_telemetry_snapshots(self, sim, flow):
+        app = SdnfvApp(sim)
+        host = NfvHost(sim, name="t0")
+        app.register_host(host)
+        host.add_nf(NoOpNf("svc"))
+        seen = []
+        app.start_telemetry(interval_ns=10 * MS,
+                            callback=lambda snap: seen.append(snap))
+        sim.run(until=55 * MS)
+        assert len(app.telemetry) == 5
+        assert seen[0].hosts["t0"].services == ["svc"]
+
+    def test_telemetry_interval_validation(self, sim):
+        app = SdnfvApp(sim)
+        with pytest.raises(ValueError):
+            app.start_telemetry(interval_ns=0)
+
+    def test_vm_failure_shifts_traffic_to_replica(self, sim, flow):
+        from repro.control import NfvOrchestrator
+        from tests.conftest import install_chain
+        orchestrator = NfvOrchestrator(sim)
+        host = NfvHost(sim, name="f0")
+        orchestrator.register_host(host)
+        vm_a = host.add_nf(NoOpNf("svc"))
+        vm_b = host.add_nf(NoOpNf("svc"))
+        install_chain(host, ["svc"])
+        out = []
+        host.port("eth1").on_egress = out.append
+
+        def traffic():
+            for _ in range(40):
+                host.inject("eth0", Packet(flow=flow, size=128))
+                yield sim.timeout(100_000)
+
+        sim.process(traffic())
+        at_failure = {}
+        sim.schedule(2 * MS, lambda: (
+            at_failure.setdefault("a", vm_a.packets_processed),
+            orchestrator.stop_vm(host, vm_a)))
+        sim.run(until=20 * MS)
+        assert len(out) == 40  # no interruption for the flow
+        # The failed VM received nothing after removal; the survivor
+        # carried the rest.
+        assert vm_a.packets_processed == at_failure["a"]
+        assert (vm_a.packets_processed + vm_b.packets_processed) == 40
+        assert vm_b.packets_processed >= 20
+
+    def test_last_vm_failure_drops_with_count(self, sim, flow):
+        from repro.control import NfvOrchestrator
+        from tests.conftest import install_chain
+        orchestrator = NfvOrchestrator(sim)
+        host = NfvHost(sim, name="f1")
+        orchestrator.register_host(host)
+        only_vm = host.add_nf(NoOpNf("svc"))
+        install_chain(host, ["svc"])
+        orchestrator.stop_vm(host, only_vm)
+        host.inject("eth0", Packet(flow=flow, size=128))
+        sim.run(until=5 * MS)
+        assert host.stats.dropped_no_vm == 1

@@ -1,0 +1,283 @@
+"""Placement engine tests: problem model, greedy, MILP, division."""
+
+import pytest
+
+from repro.core.placement import (
+    DivisionSolver,
+    FlowRequest,
+    GreedySolver,
+    MilpSolver,
+    PlacementProblem,
+)
+from repro.core.placement.milp import InfeasiblePlacement, ResidualState
+from repro.core.placement.model import compute_utilizations
+from repro.topology import Link, NodeSpec, Topology, rocketfuel_like
+
+
+def grid_topology(capacity_gbps=1.0, cores=2):
+    """a-b-c-d line plus an a-c shortcut."""
+    topology = Topology()
+    for name in "abcd":
+        topology.add_node(NodeSpec(name=name, cores=cores))
+    for a, b in [("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")]:
+        topology.add_link(Link(a=a, b=b, capacity_gbps=capacity_gbps))
+    return topology
+
+
+def flows(count, chain=("j1", "j2"), bandwidth=0.1, entry="a", exit_="d"):
+    return [FlowRequest(flow_id=f"f{i}", entry=entry, exit=exit_,
+                        chain=tuple(chain), bandwidth_gbps=bandwidth)
+            for i in range(count)]
+
+
+def problem(count=4, per_core=None, **kw):
+    return PlacementProblem(
+        topology=grid_topology(**{k: v for k, v in kw.items()
+                                  if k in ("capacity_gbps", "cores")}),
+        flows=flows(count, **{k: v for k, v in kw.items()
+                              if k in ("chain", "bandwidth")}),
+        flows_per_core=per_core or {"j1": 2, "j2": 2})
+
+
+class TestModel:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRequest(flow_id="f", entry="a", exit="b", chain=())
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(topology=grid_topology(),
+                             flows=[FlowRequest(flow_id="f", entry="zzz",
+                                                exit="a", chain=("j1",))],
+                             flows_per_core={"j1": 2})
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(topology=grid_topology(),
+                             flows=flows(1, chain=("mystery",)),
+                             flows_per_core={"j1": 2})
+
+    def test_duplicate_flow_ids_rejected(self):
+        bad = flows(1) + flows(1)
+        with pytest.raises(ValueError):
+            PlacementProblem(topology=grid_topology(), flows=bad,
+                             flows_per_core={"j1": 2, "j2": 2})
+
+    def test_compute_utilizations(self):
+        prob = problem(count=2)
+        instances = {("a", "j1"): 1, ("a", "j2"): 1}
+        assignments = {"f0": ["a", "a"], "f1": ["a", "a"]}
+        routes = {"f0": [["a"], ["a"], ["a", "c", "d"]],
+                  "f1": [["a"], ["a"], ["a", "c", "d"]]}
+        max_link, max_core, per_link, per_core = compute_utilizations(
+            prob, instances, assignments, routes)
+        assert max_core == 1.0  # 2 flows / (1 instance * 2 per core)
+        assert max_link == pytest.approx(0.2)  # 2 * 0.1 Gbps over 1 Gbps
+        assert per_link[frozenset(("a", "c"))] == pytest.approx(0.2)
+
+    def test_utilization_infinite_without_instances(self):
+        prob = problem(count=1)
+        _ml, max_core, _pl, _pc = compute_utilizations(
+            prob, {}, {"f0": ["a", "a"]}, {})
+        assert max_core == float("inf")
+
+
+class TestGreedy:
+    def test_places_all_when_capacity_ample(self):
+        result = GreedySolver().solve(problem(count=4))
+        assert result.placed_count == 4
+        assert not result.rejected_flows
+        assert result.max_core_utilization <= 1.0 + 1e-9
+
+    def test_rejects_when_cores_exhausted(self):
+        # 4 nodes x 2 cores = 8 cores; each core serves 1 flow for its
+        # service; chain of 2 services -> at most 4 flows fit.
+        result = GreedySolver().solve(
+            problem(count=6, per_core={"j1": 1, "j2": 1}))
+        assert result.placed_count == 4
+        assert len(result.rejected_flows) == 2
+
+    def test_respects_chain_order_along_path(self):
+        result = GreedySolver().solve(problem(count=1))
+        nodes = result.assignments["f0"]
+        segments = result.routes["f0"]
+        assert segments[0][0] == "a" and segments[-1][-1] == "d"
+        # Each segment starts where the previous ended.
+        for first, second in zip(segments, segments[1:]):
+            assert first[-1] == second[0]
+        assert nodes == [segment[-1] for segment in segments[:-1]]
+
+    def test_link_capacity_enforced(self):
+        # Flows of 0.6 Gbps on 1 Gbps links: only one fits per link.
+        prob = PlacementProblem(
+            topology=grid_topology(capacity_gbps=1.0),
+            flows=flows(4, bandwidth=0.6),
+            flows_per_core={"j1": 10, "j2": 10})
+        result = GreedySolver().solve(prob)
+        assert result.max_link_utilization <= 1.0 + 1e-9
+        assert result.rejected_flows
+
+    def test_rollback_returns_cores(self):
+        """A rejected flow must not leak instances."""
+        prob = problem(count=6, per_core={"j1": 1, "j2": 1})
+        result = GreedySolver().solve(prob)
+        used_cores = sum(result.instances.values())
+        assert used_cores <= prob.topology.total_cores()
+        # All instances serve at least one placed flow.
+        loads = {}
+        for flow_id in result.placed_flows:
+            flow = next(f for f in prob.flows if f.flow_id == flow_id)
+            for service, node in zip(flow.chain,
+                                     result.assignments[flow_id]):
+                loads[(node, service)] = loads.get((node, service), 0) + 1
+        for key, count in result.instances.items():
+            assert loads.get(key, 0) > 0
+
+
+class TestMilp:
+    def test_optimal_beats_greedy_utilization(self):
+        prob = problem(count=4)
+        greedy = GreedySolver().solve(prob)
+        optimal = MilpSolver(time_limit_s=30).solve(prob)
+        assert optimal.placed_count == 4
+        assert (optimal.max_utilization
+                <= greedy.max_utilization + 1e-6)
+
+    def test_infeasible_raises(self):
+        prob = problem(count=20, per_core={"j1": 1, "j2": 1})
+        with pytest.raises(InfeasiblePlacement):
+            MilpSolver(time_limit_s=30).solve(prob)
+
+    def test_routes_are_connected_paths(self):
+        prob = problem(count=3)
+        result = MilpSolver(time_limit_s=30).solve(prob)
+        topo = prob.topology
+        for flow_id, segments in result.routes.items():
+            assert segments[0][0] == "a"
+            assert segments[-1][-1] == "d"
+            for path in segments:
+                for a, b in zip(path, path[1:]):
+                    assert topo.has_link(a, b)
+
+    def test_assignments_respect_instance_capacity(self):
+        prob = problem(count=4, per_core={"j1": 2, "j2": 2})
+        result = MilpSolver(time_limit_s=30).solve(prob)
+        loads = {}
+        for flow_id, nodes in result.assignments.items():
+            for service, node in zip(("j1", "j2"), nodes):
+                loads[(node, service)] = loads.get((node, service), 0) + 1
+        for key, load in loads.items():
+            capacity = result.instances.get(key, 0) * 2
+            assert load <= capacity
+
+    def test_cores_per_node_respected(self):
+        prob = problem(count=4)
+        result = MilpSolver(time_limit_s=30).solve(prob)
+        per_node = {}
+        for (node, _service), count in result.instances.items():
+            per_node[node] = per_node.get(node, 0) + count
+        for node, used in per_node.items():
+            assert used <= prob.topology.node(node).cores
+
+    def test_delay_constraint_limits_path(self):
+        topology = grid_topology()
+        tight = FlowRequest(flow_id="tight", entry="a", exit="c",
+                            chain=("j1",), bandwidth_gbps=0.1,
+                            max_delay_ns=120_000)  # allows ≤ 2 hops
+        prob = PlacementProblem(topology=topology, flows=[tight],
+                                flows_per_core={"j1": 10})
+        result = MilpSolver(time_limit_s=30).solve(prob)
+        total_hops = sum(len(path) - 1
+                         for path in result.routes["tight"])
+        assert total_hops <= 2
+
+    def test_residual_capacity_limits_new_instances(self):
+        # 2 flows x chain(j1,j2) at 1 flow/core need 4 instances, but the
+        # residual leaves only 3 cores in the whole network.
+        prob = problem(count=2, per_core={"j1": 1, "j2": 1})
+        residual = ResidualState.fresh(prob)
+        residual.residual_cores = {name: 0 for name
+                                   in prob.topology.node_names}
+        residual.residual_cores["a"] = 2
+        residual.residual_cores["b"] = 1
+        with pytest.raises(InfeasiblePlacement):
+            MilpSolver(time_limit_s=30).solve(prob, residual=residual)
+
+    def test_residual_existing_slots_reused(self):
+        """Existing instances with spare slots satisfy demand without
+        opening new cores."""
+        prob = problem(count=2, per_core={"j1": 2, "j2": 2})
+        residual = ResidualState.fresh(prob)
+        residual.residual_cores = {name: 0 for name
+                                   in prob.topology.node_names}
+        residual.existing_instances = {("b", "j1"): 1, ("c", "j2"): 1}
+        residual.existing_slots = {("b", "j1"): 2, ("c", "j2"): 2}
+        result = MilpSolver(time_limit_s=30).solve(prob,
+                                                   residual=residual)
+        assert result.placed_count == 2
+        assert not result.instances  # nothing newly opened
+        assert all(nodes == ["b", "c"] for nodes
+                   in result.assignments.values())
+
+
+class TestDivision:
+    def test_matches_flow_count_of_optimal_on_small_problem(self):
+        prob = problem(count=4)
+        division = DivisionSolver(batch_size=2).solve(prob)
+        assert division.placed_count == 4
+        assert not division.rejected_flows
+
+    def test_batches_share_capacity_consistently(self):
+        prob = problem(count=6, per_core={"j1": 1, "j2": 1})
+        division = DivisionSolver(batch_size=2).solve(prob)
+        # Cores: 8 total; flows need 2 each -> exactly 4 placeable.
+        assert division.placed_count == 4
+        assert len(division.rejected_flows) == 2
+        used = sum(division.instances.values())
+        assert used <= prob.topology.total_cores()
+
+    def test_oversized_single_flow_rejected_not_fatal(self):
+        topology = grid_topology()
+        mixed = flows(2) + [FlowRequest(
+            flow_id="impossible", entry="a", exit="d",
+            chain=("j1",) * 9,  # needs 9 instances; only 8 cores
+            bandwidth_gbps=0.1)]
+        prob = PlacementProblem(topology=topology, flows=mixed,
+                                flows_per_core={"j1": 1, "j2": 1})
+        division = DivisionSolver(batch_size=3).solve(prob)
+        assert "impossible" in division.rejected_flows
+        assert division.placed_count == 2
+
+    def test_division_near_optimal_utilization(self):
+        """§3.5: the division heuristic fits ~85% of the optimal; on this
+        small instance it should be close in utilization too."""
+        prob = problem(count=6)
+        optimal = MilpSolver(time_limit_s=30).solve(prob)
+        division = DivisionSolver(batch_size=3).solve(prob)
+        assert division.placed_count == 6
+        assert (division.max_utilization
+                <= optimal.max_utilization * 2.0 + 1e-6)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            DivisionSolver(batch_size=0)
+
+
+class TestPaperScaleSmoke:
+    def test_rocketfuel_with_paper_parameters_division(self):
+        """22 nodes, 64 edges, chains J1–J5, 2 cores, P=10/10/10/10/4."""
+        topology = rocketfuel_like()
+        names = topology.node_names
+        per_core = {f"J{i}": 10 for i in range(1, 5)}
+        per_core["J5"] = 4
+        requests = [FlowRequest(
+            flow_id=f"f{i}", entry=names[i % len(names)],
+            exit=names[(i * 7 + 3) % len(names)],
+            chain=("J1", "J2", "J3", "J4", "J5"),
+            bandwidth_gbps=0.05) for i in range(5)]
+        prob = PlacementProblem(topology=topology, flows=requests,
+                                flows_per_core=per_core)
+        result = DivisionSolver(batch_size=5, time_limit_per_batch_s=15,
+                                mip_rel_gap=0.25).solve(prob)
+        assert result.placed_count == 5
+        assert result.max_utilization > 0

@@ -1,0 +1,76 @@
+"""Remaining small-surface checks: report formatting edges, analysis
+input validation, event details, fabric refcount hygiene."""
+
+import pytest
+
+from repro.dataplane import HostCosts
+from repro.dataplane.analysis import predict_throughput_gbps, stage_rates_pps
+from repro.metrics import comparison_table, series_table
+from repro.net import FiveTuple, Packet
+from repro.net.qos import dscp_to_priority
+from repro.sim import MS, Simulator
+from repro.topology import Fabric
+from repro.dataplane import NfvHost, FlowTableEntry, ToPort
+from repro.net.flow import FlowMatch
+
+
+class TestReportingEdges:
+    def test_empty_comparison_table(self):
+        text = comparison_table("empty", [])
+        assert "empty" in text
+        assert text.count("\n") == 2  # title + header + divider
+
+    def test_series_table_mixed_types(self):
+        text = series_table("mixed", {"name": ["a"], "value": [1.23456]})
+        assert "1.235" in text and "a" in text
+
+    def test_series_table_integer_columns(self):
+        text = series_table("ints", {"n": [1, 22, 333]})
+        lines = text.splitlines()
+        assert lines[-1].strip() == "333"
+
+
+class TestAnalysisValidation:
+    def test_throughput_respects_nf_cost(self):
+        fast = predict_throughput_gbps(HostCosts(), packet_size=64,
+                                       sequential_vms=1, nf_cost_ns=0)
+        slow = predict_throughput_gbps(HostCosts(), packet_size=64,
+                                       sequential_vms=1,
+                                       nf_cost_ns=1000)
+        assert slow < fast / 5
+
+    def test_stage_rates_first_packet_fraction(self):
+        base = stage_rates_pps(HostCosts(), first_packet_fraction=0.0)
+        churny = stage_rates_pps(HostCosts(), first_packet_fraction=1.0)
+        assert churny["rx"] < base["rx"]
+
+
+class TestQosMappingValidation:
+    def test_dscp_range_checked(self):
+        with pytest.raises(ValueError):
+            dscp_to_priority(64, levels=3)
+        with pytest.raises(ValueError):
+            dscp_to_priority(0, levels=0)
+
+
+class TestFabricRefcounts:
+    def test_forwarded_packets_fully_released_downstream(self, sim, flow):
+        """A frame crossing the fabric is re-referenced on the next host
+        and released again at its final egress."""
+        fabric = Fabric(sim)
+        a = NfvHost(sim, name="fa")
+        b = NfvHost(sim, name="fb")
+        fabric.add_host(a)
+        fabric.add_host(b)
+        fabric.connect("fa", "eth1", "fb", "eth0", bidirectional=False)
+        for host in (a, b):
+            host.install_rule(FlowTableEntry(
+                scope="eth0", match=FlowMatch.any(),
+                actions=(ToPort("eth1"),)))
+        delivered = []
+        b.port("eth1").on_egress = delivered.append
+        packet = Packet(flow=flow, size=128)
+        a.inject("eth0", packet)
+        sim.run(until=10 * MS)
+        assert delivered == [packet]
+        assert packet.ref_count == 0

@@ -1,0 +1,264 @@
+"""Service graph tests: construction, validation, compilation, chains."""
+
+import pytest
+
+from repro.core import DROP, EXIT, ServiceGraph
+from repro.dataplane import Drop, ToPort, ToService
+from repro.net import FlowMatch
+
+
+def anomaly_graph():
+    """The §2.2 anomaly-detection graph (Fig. 3, left)."""
+    graph = ServiceGraph("anomaly")
+    graph.add_service("firewall", read_only=True)
+    graph.add_service("sampler", read_only=True)
+    graph.add_service("ddos", read_only=True)
+    graph.add_service("ids", read_only=True)
+    graph.add_service("scrubber")
+    graph.add_edge("firewall", "sampler", default=True)
+    graph.add_edge("sampler", EXIT, default=True)  # unsampled traffic
+    graph.add_edge("sampler", "ddos")              # sampled traffic
+    graph.add_edge("ddos", "ids", default=True)
+    graph.add_edge("ids", EXIT, default=True)
+    graph.add_edge("ids", "scrubber")
+    graph.add_edge("scrubber", EXIT, default=True)
+    graph.add_edge("scrubber", DROP)
+    graph.set_entry("firewall")
+    return graph
+
+
+def video_graph():
+    """A simplified Fig. 4 video-optimizer graph."""
+    graph = ServiceGraph("video")
+    graph.add_service("vd", read_only=True)
+    graph.add_service("pe")
+    graph.add_service("tc")
+    graph.add_service("cache")
+    graph.add_edge("vd", "pe", default=True)
+    graph.add_edge("vd", EXIT)
+    graph.add_edge("pe", "tc", default=True)
+    graph.add_edge("pe", "cache")
+    graph.add_edge("tc", "cache", default=True)
+    graph.add_edge("cache", EXIT, default=True)
+    graph.set_entry("vd")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_service_rejected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        with pytest.raises(ValueError):
+            graph.add_service("a")
+
+    def test_reserved_names_rejected(self):
+        graph = ServiceGraph("g")
+        with pytest.raises(ValueError):
+            graph.add_service(EXIT)
+
+    def test_edge_requires_known_vertices(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "ghost")
+        with pytest.raises(ValueError):
+            graph.add_edge("ghost", "a")
+
+    def test_single_default_per_vertex(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_service("b")
+        graph.add_edge("a", "b", default=True)
+        with pytest.raises(ValueError):
+            graph.add_edge("a", EXIT, default=True)
+
+    def test_duplicate_edge_rejected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_edge("a", EXIT, default=True)
+        with pytest.raises(ValueError):
+            graph.add_edge("a", EXIT)
+
+    def test_graph_needs_name(self):
+        with pytest.raises(ValueError):
+            ServiceGraph("")
+
+
+class TestValidation:
+    def test_valid_graphs_pass(self):
+        anomaly_graph().validate()
+        video_graph().validate()
+
+    def test_entry_required(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_edge("a", EXIT, default=True)
+        with pytest.raises(ValueError, match="entry"):
+            graph.validate()
+
+    def test_cycle_detected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_service("b")
+        graph.add_edge("a", "b", default=True)
+        graph.add_edge("b", "a", default=True)
+        graph.set_entry("a")
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate()
+
+    def test_unreachable_service_detected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_service("island")
+        graph.add_edge("a", EXIT, default=True)
+        graph.add_edge("island", EXIT, default=True)
+        graph.set_entry("a")
+        with pytest.raises(ValueError, match="unreachable"):
+            graph.validate()
+
+    def test_dead_end_detected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_service("b")
+        graph.add_edge("a", "b", default=True)
+        graph.set_entry("a")
+        with pytest.raises(ValueError, match="default|exit"):
+            graph.validate()
+
+    def test_missing_default_detected(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        graph.add_edge("a", EXIT)
+        graph.set_entry("a")
+        with pytest.raises(ValueError, match="default"):
+            graph.validate()
+
+
+class TestQueries:
+    def test_out_edges_default_first(self):
+        graph = anomaly_graph()
+        edges = graph.out_edges("sampler")
+        assert edges[0].dst == EXIT and edges[0].default
+        assert {edge.dst for edge in edges[1:]} == {"ddos"}
+
+    def test_default_successor(self):
+        graph = anomaly_graph()
+        assert graph.default_successor("firewall") == "sampler"
+        assert graph.default_successor("ddos") == "ids"
+
+    def test_services_excludes_sentinels(self):
+        graph = anomaly_graph()
+        assert EXIT not in graph.services
+        assert DROP not in graph.services
+
+    def test_predecessors(self):
+        graph = anomaly_graph()
+        assert graph.predecessors("ids") == ["ddos"]
+
+
+class TestCompilation:
+    def test_single_host_rules(self, flow):
+        rules = video_graph().compile_rules(ingress_port="eth0",
+                                            exit_port="eth1")
+        by_scope = {rule.scope: rule for rule in rules}
+        assert by_scope["eth0"].actions == (ToService("vd"),)
+        assert by_scope["vd"].actions == (ToService("pe"), ToPort("eth1"))
+        assert by_scope["pe"].actions == (ToService("tc"),
+                                          ToService("cache"))
+        assert by_scope["cache"].actions == (ToPort("eth1"),)
+
+    def test_drop_edges_compile_to_drop(self):
+        rules = anomaly_graph().compile_rules(ingress_port="eth0",
+                                              exit_port="eth1")
+        scrubber = next(rule for rule in rules if rule.scope == "scrubber")
+        assert scrubber.actions == (ToPort("eth1"), Drop())
+
+    def test_match_propagates_to_all_rules(self, flow):
+        match = FlowMatch(dst_port=80)
+        rules = video_graph().compile_rules(ingress_port="eth0",
+                                            exit_port="eth1", match=match)
+        assert all(rule.match == match for rule in rules)
+
+    def test_compile_validates_graph(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a")
+        with pytest.raises(ValueError):
+            graph.compile_rules(ingress_port="eth0", exit_port="eth1")
+
+    def test_multi_host_split(self):
+        """Fig. 3's two-host deployment: edges crossing hosts become
+        port actions; the downstream ingress picks up mid-graph."""
+        graph = video_graph()
+        placement = {"vd": "host1", "pe": "host1",
+                     "tc": "host2", "cache": "host2"}
+        ports = {("host1", "host2"): "trunk1",
+                 ("host2", "host1"): "trunk2"}
+        rules1 = graph.compile_rules(
+            ingress_port="eth0", exit_port="eth1", placement=placement,
+            host="host1", inter_host_ports=ports)
+        by_scope1 = {rule.scope: rule for rule in rules1}
+        assert by_scope1["eth0"].actions == (ToService("vd"),)
+        # pe's default edge (tc) crosses to host2 via the trunk.
+        assert by_scope1["pe"].actions[0] == ToPort("trunk1")
+        assert "tc" not in by_scope1
+
+        rules2 = graph.compile_rules(
+            ingress_port="trunk2", exit_port="eth1", placement=placement,
+            host="host2", inter_host_ports=ports)
+        by_scope2 = {rule.scope: rule for rule in rules2}
+        #
+
+        # Packets arriving on host2 head to the first local default hop.
+        assert by_scope2["trunk2"].actions == (ToService("tc"),)
+        assert by_scope2["tc"].actions == (ToService("cache"),)
+        assert by_scope2["cache"].actions == (ToPort("eth1"),)
+
+
+class TestParallelChains:
+    def test_ddos_ids_fused(self):
+        # firewall→sampler also fuses: every packet leaving the firewall
+        # goes to the sampler and both are read-only (the same §3.3
+        # condition that fuses ddos→ids).
+        chains = anomaly_graph().parallel_chains()
+        assert chains == [["firewall", "sampler"], ["ddos", "ids"]]
+
+    def test_non_read_only_blocks_fusion(self):
+        graph = ServiceGraph("g")
+        graph.add_service("a", read_only=True)
+        graph.add_service("b", read_only=False)
+        graph.add_edge("a", "b", default=True)
+        graph.add_edge("b", EXIT, default=True)
+        graph.set_entry("a")
+        assert graph.parallel_chains() == []
+
+    def test_branching_blocks_fusion_forward(self):
+        """A vertex with two out-edges can't fuse with its successors
+        (not every packet goes there) — it may only end a chain."""
+        graph = anomaly_graph()
+        chains = graph.parallel_chains()
+        for chain in chains:
+            # sampler branches, so it never appears mid-chain.
+            assert "sampler" not in chain[:-1]
+        # And no chain continues past the branch into ddos via sampler.
+        assert ["sampler", "ddos"] not in [chain[-2:] for chain in chains]
+
+    def test_long_chain_fused_whole(self):
+        graph = ServiceGraph("g")
+        for name in ("a", "b", "c"):
+            graph.add_service(name, read_only=True)
+        graph.add_edge("a", "b", default=True)
+        graph.add_edge("b", "c", default=True)
+        graph.add_edge("c", EXIT, default=True)
+        graph.set_entry("a")
+        assert graph.parallel_chains() == [["a", "b", "c"]]
+
+    def test_multiple_in_edges_block_fusion(self):
+        graph = ServiceGraph("g")
+        for name, ro in (("a", True), ("b", True), ("x", True)):
+            graph.add_service(name, read_only=ro)
+        graph.add_edge("a", "b", default=True)
+        graph.add_edge("x", "b", default=True)
+        graph.add_edge("b", EXIT, default=True)
+        graph.set_entry("a")
+        # b has two predecessors: fusing a→b would steal x's traffic.
+        assert graph.parallel_chains() == []

@@ -1,0 +1,109 @@
+"""Interrupt-semantics hardening: stale events must never mis-resume a
+process, and stores must not lose items to abandoned getters."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, Store
+
+
+class TestTargetDetachment:
+    def test_old_target_firing_does_not_resume(self, sim):
+        """A process interrupted out of a timeout must not be resumed a
+        second time when that timeout eventually fires."""
+        resumptions = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            # Now wait on something else past t=100.
+            yield sim.timeout(500)
+            resumptions.append(sim.now)
+
+        process = sim.process(sleeper())
+        sim.schedule(10, lambda: process.interrupt())
+        sim.run()
+        # Exactly one resumption, at 10 + 500 — the stale t=100 timeout
+        # changed nothing.
+        assert resumptions == [510]
+
+    def test_interrupt_then_value_flow_correct(self, sim):
+        """After an interrupt, the next awaited event's value arrives
+        intact (no leakage from the abandoned event)."""
+        values = []
+
+        def worker():
+            try:
+                yield sim.timeout(100, value="stale-value")
+            except Interrupt as interrupt:
+                values.append(("interrupt", interrupt.cause))
+            fresh = yield sim.timeout(50, value="fresh-value")
+            values.append(("value", fresh))
+
+        process = sim.process(worker())
+        sim.schedule(10, lambda: process.interrupt("why"))
+        sim.run()
+        assert values == [("interrupt", "why"), ("value", "fresh-value")]
+
+
+class TestStoreAbandonedGetters:
+    def test_item_not_lost_to_interrupted_getter(self, sim):
+        """An item put after a waiting consumer was interrupted must go
+        to the next live consumer, not vanish."""
+        store = Store(sim)
+        received = []
+
+        def doomed():
+            try:
+                yield store.get()
+                received.append("doomed-got-item")
+            except Interrupt:
+                pass  # walks away without consuming
+
+        def patient():
+            item = yield store.get()
+            received.append(("patient", item))
+
+        doomed_process = sim.process(doomed())
+        sim.process(patient())
+        sim.schedule(10, lambda: doomed_process.interrupt())
+        sim.schedule(20, lambda: store.try_put("the-item"))
+        sim.run()
+        assert received == [("patient", "the-item")]
+
+    def test_all_getters_abandoned_item_queues(self, sim):
+        store = Store(sim)
+
+        def doomed():
+            try:
+                yield store.get()
+            except Interrupt:
+                pass
+
+        process = sim.process(doomed())
+        sim.schedule(10, lambda: process.interrupt())
+        sim.schedule(20, lambda: store.try_put("kept"))
+        sim.run()
+        # Nobody was waiting: the item stays in the store.
+        assert list(store.items) == ["kept"]
+
+    def test_fifo_preserved_among_live_getters(self, sim):
+        store = Store(sim)
+        received = []
+
+        def consumer(tag, give_up):
+            try:
+                item = yield store.get()
+                received.append((tag, item))
+            except Interrupt:
+                pass
+
+        first = sim.process(consumer("first", True))
+        sim.process(consumer("second", False))
+        sim.process(consumer("third", False))
+        sim.schedule(10, lambda: first.interrupt())
+        sim.schedule(20, lambda: (store.try_put("a"),
+                                  store.try_put("b")))
+        sim.run()
+        assert received == [("second", "a"), ("third", "b")]

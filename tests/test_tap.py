@@ -1,0 +1,111 @@
+"""Packet tap tests: capture, chaining, and the capture→replay loop."""
+
+import pytest
+
+from repro.baselines import make_dpdk_forwarder
+from repro.dataplane import NfvHost
+from repro.dataplane.tap import PacketTap
+from repro.net import FiveTuple, Packet
+from repro.nfs import NoOpNf, Sampler
+from repro.sim import MS, Simulator
+from repro.workloads import (
+    FlowSpec,
+    PktGen,
+    TraceReplayer,
+    trace_from_csv,
+    trace_to_csv,
+)
+
+from tests.conftest import install_chain
+
+
+class TestCapture:
+    def test_egress_tap_records_frames(self, sim, flow):
+        host = make_dpdk_forwarder(sim)
+        tap = PacketTap.on_egress(sim, host, "eth1")
+        for i in range(5):
+            host.inject("eth0", Packet(flow=flow, size=128,
+                                       payload=f"p{i}"))
+        sim.run(until=5 * MS)
+        assert len(tap) == 5
+        assert [record.payload for record in tap.records] == [
+            f"p{i}" for i in range(5)]
+
+    def test_egress_tap_chains_existing_observer(self, sim, flow):
+        host = make_dpdk_forwarder(sim)
+        seen = []
+        host.port("eth1").on_egress = seen.append
+        tap = PacketTap.on_egress(sim, host, "eth1")
+        host.inject("eth0", Packet(flow=flow, size=128))
+        sim.run(until=5 * MS)
+        assert len(tap) == 1 and len(seen) == 1
+
+    def test_ingress_tap_skips_dropped_frames(self, sim, flow):
+        host = NfvHost(sim, name="tap0")
+        # No rules: everything still enters the RX ring and is counted,
+        # so test drop behaviour via ring exhaustion instead: shrink it.
+        host.manager.ports["eth0"].ingress.capacity = 2
+        tap = PacketTap.on_ingress(sim, host, "eth0")
+        for _ in range(5):
+            host.inject("eth0", Packet(flow=flow, size=128))
+        # Only the ring-capacity-admitted frames are captured.
+        assert len(tap) == 2
+
+    def test_capacity_bound(self, sim, flow):
+        host = make_dpdk_forwarder(sim)
+        tap = PacketTap.on_egress(sim, host, "eth1", max_records=3)
+        for _ in range(6):
+            host.inject("eth0", Packet(flow=flow, size=128))
+        sim.run(until=5 * MS)
+        assert len(tap) == 3 and tap.truncated == 3
+
+    def test_to_trace_rebases_time(self, sim, flow):
+        host = make_dpdk_forwarder(sim)
+        tap = PacketTap.on_egress(sim, host, "eth1")
+
+        def late_sender():
+            yield sim.timeout(10 * MS)
+            host.inject("eth0", Packet(flow=flow, size=128))
+            yield sim.timeout(1 * MS)
+            host.inject("eth0", Packet(flow=flow, size=128))
+
+        sim.process(late_sender())
+        sim.run(until=20 * MS)
+        trace = tap.to_trace()
+        assert trace[0].timestamp_ns == 0
+        assert trace[1].timestamp_ns == pytest.approx(1 * MS, abs=10_000)
+
+    def test_empty_trace(self, sim):
+        tap = PacketTap(sim)
+        assert tap.to_trace() == []
+        with pytest.raises(ValueError):
+            PacketTap(sim, max_records=0)
+
+
+class TestCaptureReplayLoop:
+    def test_captured_traffic_replays_identically(self, sim, flow):
+        """Capture the output of a sampler chain, serialize to CSV,
+        replay the CSV into a second host, and get the same stream."""
+        host_a = NfvHost(sim, name="origin")
+        host_a.add_nf(NoOpNf("svc"))
+        install_chain(host_a, ["svc"])
+        tap = PacketTap.on_egress(sim, host_a, "eth1")
+        gen = PktGen(sim, host_a, measure_ports=())
+        gen.add_flow(FlowSpec(flow=flow, rate_mbps=100.0,
+                              packet_size=256, stop_ns=5 * MS,
+                              payload=lambda seq: f"seq{seq}"))
+        sim.run(until=10 * MS)
+        captured = tap.to_trace()
+        assert captured
+
+        csv_text = trace_to_csv(captured)
+        restored = trace_from_csv(csv_text)
+
+        sim2 = Simulator()
+        host_b = make_dpdk_forwarder(sim2)
+        replay_out = []
+        host_b.port("eth1").on_egress = (
+            lambda p: replay_out.append(p.payload))
+        TraceReplayer(sim2, host_b, restored)
+        sim2.run(until=20 * MS)
+        assert replay_out == [record.payload for record in captured]

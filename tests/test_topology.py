@@ -1,0 +1,135 @@
+"""Topology substrate tests: nodes, links, paths, Rocketfuel generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.units import US
+from repro.topology import Link, NodeKind, NodeSpec, Topology, rocketfuel_like
+
+
+def line_topology(n=4, capacity=10.0):
+    topology = Topology()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        topology.add_node(NodeSpec(name=name, cores=2))
+    for a, b in zip(names, names[1:]):
+        topology.add_link(Link(a=a, b=b, capacity_gbps=capacity,
+                               delay_ns=100 * US))
+    return topology, names
+
+
+class TestNodeSpec:
+    def test_negative_cores_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", cores=-1)
+
+    def test_pure_switch_has_no_cores(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="s", kind=NodeKind.SWITCH, cores=2)
+        NodeSpec(name="s", kind=NodeKind.SWITCH, cores=0)  # fine
+
+
+class TestLink:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link(a="x", b="x")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link(a="x", b="y", capacity_gbps=0)
+
+    def test_endpoints_unordered(self):
+        assert Link(a="x", b="y").endpoints == frozenset(("y", "x"))
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topology = Topology()
+        topology.add_node(NodeSpec(name="a"))
+        with pytest.raises(ValueError):
+            topology.add_node(NodeSpec(name="a"))
+
+    def test_link_requires_known_nodes(self):
+        topology = Topology()
+        topology.add_node(NodeSpec(name="a"))
+        with pytest.raises(KeyError):
+            topology.add_link(Link(a="a", b="ghost"))
+
+    def test_duplicate_link_rejected(self):
+        topology, names = line_topology(3)
+        with pytest.raises(ValueError):
+            topology.add_link(Link(a=names[1], b=names[0]))
+
+    def test_link_lookup_symmetric(self):
+        topology, names = line_topology(3)
+        assert topology.link(names[0], names[1]) is topology.link(
+            names[1], names[0])
+        with pytest.raises(KeyError):
+            topology.link(names[0], names[2])
+
+    def test_shortest_path_and_delay(self):
+        topology, names = line_topology(4)
+        path = topology.shortest_path(names[0], names[3])
+        assert path == names
+        assert topology.path_delay_ns(path) == 3 * 100 * US
+
+    def test_neighbors(self):
+        topology, names = line_topology(3)
+        assert set(topology.neighbors(names[1])) == {names[0], names[2]}
+
+    def test_connectivity(self):
+        topology, _names = line_topology(3)
+        assert topology.is_connected()
+        lonely = Topology()
+        lonely.add_node(NodeSpec(name="a"))
+        lonely.add_node(NodeSpec(name="b"))
+        assert not lonely.is_connected()
+
+    def test_total_cores(self):
+        topology, _names = line_topology(5)
+        assert topology.total_cores() == 10
+
+    def test_path_links(self):
+        topology, names = line_topology(3)
+        links = topology.path_links(names)
+        assert len(links) == 2
+
+
+class TestRocketfuel:
+    def test_default_matches_as16631(self):
+        topology = rocketfuel_like()
+        assert len(topology.node_names) == 22
+        assert len(topology.links) == 64
+        assert topology.is_connected()
+        assert all(topology.node(name).cores == 2
+                   for name in topology.node_names)
+
+    def test_deterministic_for_seed(self):
+        a = rocketfuel_like(seed=5)
+        b = rocketfuel_like(seed=5)
+        assert ({link.endpoints for link in a.links}
+                == {link.endpoints for link in b.links})
+
+    def test_different_seeds_differ(self):
+        a = rocketfuel_like(seed=1)
+        b = rocketfuel_like(seed=2)
+        assert ({link.endpoints for link in a.links}
+                != {link.endpoints for link in b.links})
+
+    @given(nodes=st.integers(min_value=2, max_value=12),
+           extra=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_always_connected_with_exact_counts(self, nodes, extra):
+        max_edges = nodes * (nodes - 1) // 2
+        edges = min(max_edges, nodes - 1 + extra)
+        topology = rocketfuel_like(nodes=nodes, edges=edges, seed=nodes)
+        assert len(topology.node_names) == nodes
+        assert len(topology.links) == edges
+        assert topology.is_connected()
+
+    def test_impossible_edge_counts_rejected(self):
+        with pytest.raises(ValueError):
+            rocketfuel_like(nodes=5, edges=3)   # below n-1
+        with pytest.raises(ValueError):
+            rocketfuel_like(nodes=5, edges=11)  # above n(n-1)/2
