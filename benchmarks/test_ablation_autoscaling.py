@@ -12,8 +12,6 @@ Two of the paper's dynamic-management claims quantified:
    recovery-time difference.
 """
 
-import pytest
-
 from repro.control import NfvOrchestrator
 from repro.core import SdnfvApp
 from repro.dataplane import NfvHost
@@ -29,11 +27,11 @@ OFFERED_GAP_NS = 25_000      # 40 kpps offered: 2.4x overload
 RUN_NS = int(1.5 * S)
 
 
-def run_scenario(autoscale: bool, launch_mode: str = "standby_process"):
+def run_scenario(autoscale: bool, mode: str = "standby_process"):
     sim = Simulator()
     orchestrator = NfvOrchestrator(sim)
     app = SdnfvApp(sim, orchestrator=orchestrator)
-    host = NfvHost(sim, name=f"auto-{autoscale}-{launch_mode}")
+    host = NfvHost(sim, name=f"auto-{autoscale}-{mode}")
     app.register_host(host)
     host.add_nf(ComputeNf("svc", cost_ns=NF_COST_NS), ring_slots=16384)
     install_chain(host, ["svc"])
@@ -41,7 +39,7 @@ def run_scenario(autoscale: bool, launch_mode: str = "standby_process"):
         app.enable_autoscaling(
             host, {"svc": lambda: ComputeNf("svc", cost_ns=NF_COST_NS)},
             interval_ns=2 * MS, threshold_slots=50, max_replicas=3,
-            launch_mode=launch_mode)
+            mode=mode)
     latencies_late = []
 
     def on_out(packet):
@@ -73,7 +71,7 @@ def run_scenario(autoscale: bool, launch_mode: str = "standby_process"):
 def test_ablation_autoscaling(report, benchmark):
     def run():
         baseline = run_scenario(autoscale=False)
-        scaled = {mode: run_scenario(autoscale=True, launch_mode=mode)
+        scaled = {mode: run_scenario(autoscale=True, mode=mode)
                   for mode in ("standby_process", "restore")}
         return baseline, scaled
 

@@ -11,7 +11,6 @@ so putting the monitor first *overrides* the filter — the operator's
 knob for "observe but don't enforce" deployments.
 """
 
-import pytest
 
 from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService, Verdict
 from repro.metrics import series_table

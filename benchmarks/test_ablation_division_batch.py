@@ -6,7 +6,6 @@ joint optimum (lower max utilization) at super-linear solve cost; batch
 size 1 degenerates toward greedy-like quality.
 """
 
-import pytest
 
 from repro.core.placement import DivisionSolver, FlowRequest, PlacementProblem
 from repro.metrics import series_table

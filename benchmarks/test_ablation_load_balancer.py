@@ -10,7 +10,6 @@ cost varies heavily (payload-dependent processing).  Metrics: drops and
 p99 latency per policy.
 """
 
-import pytest
 
 from repro.dataplane import NfvHost
 from repro.dataplane.load_balancer import LoadBalancePolicy

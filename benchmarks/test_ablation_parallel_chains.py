@@ -5,7 +5,6 @@ sequential vs parallel execution of read-only compute NFs?  Sequential
 latency grows linearly with length; parallel latency stays nearly flat.
 """
 
-import pytest
 
 from repro.dataplane import NfvHost
 from repro.metrics import series_table

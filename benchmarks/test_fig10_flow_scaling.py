@@ -21,7 +21,7 @@ from repro.core.service_graph import EXIT
 from repro.dataplane import NfvHost
 from repro.metrics import series_table
 from repro.nfs import PolicyEngine, VideoFlowDetector
-from repro.sim import MS, S, Simulator
+from repro.sim import S, Simulator
 from repro.workloads import FlowChurnWorkload
 
 RATES = [500, 1000, 2000, 4000, 9000]

@@ -20,7 +20,7 @@ from repro.core.service_graph import EXIT
 from repro.dataplane import NfvHost
 from repro.metrics import series_table
 from repro.nfs import PolicyEngine, Transcoder, VideoFlowDetector
-from repro.sim import MS, S, Simulator
+from repro.sim import S, Simulator
 from repro.workloads import VideoSessionWorkload
 
 RUN_S = 90

@@ -14,7 +14,6 @@ time limit; shapes, not absolute solver times, are the reproduction
 target.
 """
 
-import pytest
 
 from repro.core.placement import (
     DivisionSolver,

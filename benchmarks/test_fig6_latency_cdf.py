@@ -8,13 +8,12 @@ Each NF burns ~30 µs per packet; sequential chains pay it per hop,
 parallel chains pay it once (plus small fan-out/merge costs).
 """
 
-import pytest
 
 from repro.dataplane import NfvHost
 from repro.metrics import series_table
 from repro.net import FiveTuple
 from repro.nfs import ComputeNf
-from repro.sim import MS, Simulator, US
+from repro.sim import MS, Simulator
 from repro.workloads import FlowSpec, PktGen
 
 from tests.conftest import install_chain

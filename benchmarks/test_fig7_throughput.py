@@ -16,7 +16,6 @@ from repro.baselines import make_dpdk_forwarder
 from repro.dataplane import NfvHost
 from repro.metrics import series_table
 from repro.net import FiveTuple
-from repro.net.packet import wire_bits
 from repro.nfs import NoOpNf
 from repro.sim import MS, Simulator
 from repro.workloads import FlowSpec, PktGen

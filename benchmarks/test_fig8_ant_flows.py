@@ -11,7 +11,6 @@ slow link saturates the same way, and the detector window shrinks from
 2 s to 0.2 s accordingly.
 """
 
-import pytest
 
 from repro.dataplane import NfvHost
 from repro.metrics import series_table

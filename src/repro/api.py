@@ -1,0 +1,160 @@
+"""``repro.api`` — the blessed public surface, importable from one place.
+
+Examples, docs, and downstream code should prefer::
+
+    from repro.api import Simulator, NfvHost, SdnfvApp, PktGen, FaultPlan
+
+over deep module paths.  Deep imports (``repro.dataplane.manager`` etc.)
+keep working and remain the right choice for internals and rarely-used
+helpers; everything re-exported here is covered by the API guide
+(``docs/api_guide.md``) and kept stable across releases.
+"""
+
+from __future__ import annotations
+
+# Simulation kernel
+from repro.sim import (
+    MS,
+    NS,
+    S,
+    US,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Store,
+    Timeout,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+from repro.sim.randomness import RandomStreams
+
+# Packets and flows
+from repro.net import FiveTuple, FlowMatch, Packet
+
+# Data plane (one SDNFV host)
+from repro.dataplane import (
+    ControlPlanePolicy,
+    Drop,
+    FlowTable,
+    FlowTableEntry,
+    HostCosts,
+    HostStats,
+    LoadBalancePolicy,
+    NfManager,
+    NfVm,
+    NfvHost,
+    ToPort,
+    ToService,
+    Verdict,
+)
+from repro.dataplane.messages import (
+    ChangeDefault,
+    NfMessage,
+    RequestMe,
+    SkipMe,
+    UserMessage,
+)
+
+# NF programming model
+from repro.nfs import NetworkFunction, NfContext
+
+# Control tier
+from repro.control import NfvOrchestrator, SdnController
+
+# Global tier: graphs, the application, placement
+from repro.core import (
+    DROP,
+    EXIT,
+    GraphDeployment,
+    SdnfvApp,
+    ServiceGraph,
+    deploy_distributed,
+)
+
+# Faults and resilience
+from repro.faults import (
+    ControllerOutage,
+    FaultInjector,
+    FaultPlan,
+    HostOverload,
+    LinkFlap,
+    NfCrash,
+    NfHang,
+    NfWatchdog,
+)
+
+# Workloads and observability
+from repro.metrics.eventlog import EventLog
+from repro.workloads import FlowSpec, PktGen
+
+__all__ = [
+    # kernel
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "MS",
+    "NS",
+    "Process",
+    "RandomStreams",
+    "S",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "US",
+    "ns_to_seconds",
+    "seconds_to_ns",
+    # packets and flows
+    "FiveTuple",
+    "FlowMatch",
+    "Packet",
+    # data plane
+    "ControlPlanePolicy",
+    "Drop",
+    "FlowTable",
+    "FlowTableEntry",
+    "HostCosts",
+    "HostStats",
+    "LoadBalancePolicy",
+    "NfManager",
+    "NfVm",
+    "NfvHost",
+    "ToPort",
+    "ToService",
+    "Verdict",
+    # cross-layer messages
+    "ChangeDefault",
+    "NfMessage",
+    "RequestMe",
+    "SkipMe",
+    "UserMessage",
+    # NF programming model
+    "NetworkFunction",
+    "NfContext",
+    # control tier
+    "NfvOrchestrator",
+    "SdnController",
+    # global tier
+    "DROP",
+    "EXIT",
+    "GraphDeployment",
+    "SdnfvApp",
+    "ServiceGraph",
+    "deploy_distributed",
+    # faults and resilience
+    "ControllerOutage",
+    "FaultInjector",
+    "FaultPlan",
+    "HostOverload",
+    "LinkFlap",
+    "NfCrash",
+    "NfHang",
+    "NfWatchdog",
+    # workloads and observability
+    "EventLog",
+    "FlowSpec",
+    "PktGen",
+]

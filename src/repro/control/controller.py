@@ -34,6 +34,7 @@ class ControllerStats:
     busy_ns: int = 0
     max_queue: int = 0
     failures: int = 0
+    outages: int = 0
 
     def utilization(self, elapsed_ns: int) -> float:
         return self.busy_ns / elapsed_ns if elapsed_ns else 0.0
@@ -70,9 +71,37 @@ class SdnController:
         self.northbound = northbound
         self.workers = workers
         self.stats = ControllerStats()
+        self.down = False
+        self._restored: Event | None = None
         self._queue = Store(sim)
         for _ in range(workers):
             sim.process(self._serve())
+
+    # ------------------------------------------------------------------
+    # Outages (repro.faults.ControllerOutage)
+    # ------------------------------------------------------------------
+    def set_down(self, down: bool) -> None:
+        """Take the controller down / bring it back.  While down, requests
+        still propagate and queue, but no worker serves them — hosts see
+        unbounded response times (what their retry policies must absorb).
+        """
+        if down == self.down:
+            return
+        self.down = down
+        if down:
+            self._restored = self.sim.event()
+        else:
+            restored, self._restored = self._restored, None
+            if restored is not None:
+                restored.succeed()
+
+    def outage(self, duration_ns: int) -> None:
+        """A bounded outage: down now, back after ``duration_ns``."""
+        if duration_ns <= 0:
+            raise ValueError("outage duration must be positive")
+        self.stats.outages += 1
+        self.set_down(True)
+        self.sim.schedule(duration_ns, lambda: self.set_down(False))
 
     @property
     def idle_lookup_ns(self) -> int:
@@ -139,6 +168,8 @@ class SdnController:
     def _serve(self):
         while True:
             job: _Job = yield self._queue.get()
+            while self.down:
+                yield self._restored
             self.stats.max_queue = max(self.stats.max_queue,
                                        len(self._queue) + 1)
             yield self.sim.timeout(self.service_time_ns)

@@ -89,7 +89,10 @@ class NfvOrchestrator:
         return ready
 
     def launch_time_ns(self, mode: str | None = None) -> int:
-        return _LAUNCH_DELAYS[mode or self.default_mode]
+        mode = mode or self.default_mode
+        if mode not in _LAUNCH_DELAYS:
+            raise ValueError(f"unknown launch mode {mode!r}")
+        return _LAUNCH_DELAYS[mode]
 
     def stop_vm(self, host: NfvHost | str, vm: NfVm) -> None:
         """Take a VM out of service: it stops receiving new packets.

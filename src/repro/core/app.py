@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import typing
+import warnings
 
 from repro.control.controller import SdnController
 from repro.control.orchestrator import NfvOrchestrator
@@ -26,6 +27,22 @@ from repro.net.flow import FiveTuple, FlowMatch
 from repro.core.service_graph import EXIT, ServiceGraph
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.watchdog import NfWatchdog
+
+
+def _canonical_mode(mode: str | None,
+                    launch_mode: str | None) -> str | None:
+    """Resolve the ``mode=`` / deprecated ``launch_mode=`` kwarg pair."""
+    if launch_mode is None:
+        return mode
+    if mode is not None:
+        raise TypeError("pass mode= only (launch_mode= is a deprecated "
+                        "alias)")
+    warnings.warn("launch_mode= is deprecated; use mode=",
+                  DeprecationWarning, stacklevel=3)
+    return launch_mode
 
 
 @dataclasses.dataclass
@@ -164,10 +181,16 @@ class SdnfvApp:
 
     def launch_nf(self, host: NfvHost | str,
                   nf_factory: typing.Callable[[], typing.Any],
-                  mode: str | None = None) -> Event:
-        """Start a new NF VM via the orchestrator (Fig. 2 step 4)."""
+                  mode: str | None = None,
+                  launch_mode: str | None = None) -> Event:
+        """Start a new NF VM via the orchestrator (Fig. 2 step 4).
+
+        ``mode`` is one of ``"boot"`` / ``"standby_process"`` /
+        ``"restore"``; ``launch_mode=`` is a deprecated alias.
+        """
         if self.orchestrator is None:
             raise RuntimeError("no orchestrator attached")
+        mode = _canonical_mode(mode, launch_mode)
         return self.orchestrator.launch_nf(host, nf_factory, mode=mode)
 
     # ------------------------------------------------------------------
@@ -247,16 +270,21 @@ class SdnfvApp:
             interval_ns: int = 100_000_000,
             threshold_slots: int = 256,
             max_replicas: int = 4,
-            launch_mode: str = "standby_process") -> None:
+            mode: str | None = None,
+            launch_mode: str | None = None) -> None:
         """Boot extra replicas of overloaded services automatically.
 
         Wires the NF Manager's overload monitor (host tier) to the NFV
         orchestrator (global tier): sustained queue pressure on a service
         in ``nf_factories`` launches one more replica, up to
-        ``max_replicas``, using a fast launch mode by default.
+        ``max_replicas``, using a fast launch mode by default
+        (``mode="standby_process"``; ``launch_mode=`` is a deprecated
+        alias).
         """
         if self.orchestrator is None:
             raise RuntimeError("autoscaling needs an orchestrator")
+        mode = _canonical_mode(mode, launch_mode) or "standby_process"
+        self.orchestrator.launch_time_ns(mode)  # reject bad modes up front
         if isinstance(host, str):
             host = self.hosts[host]
         manager = host.manager
@@ -270,14 +298,63 @@ class SdnfvApp:
             if replicas >= max_replicas:
                 return
             pending.add(service_id)
-            ready = self.orchestrator.launch_nf(host, factory,
-                                                mode=launch_mode)
+            ready = self.orchestrator.launch_nf(host, factory, mode=mode)
             ready.callbacks.append(
                 lambda _event: pending.discard(service_id))
 
         manager.start_overload_monitor(
             interval_ns=interval_ns, threshold_slots=threshold_slots,
             callback=on_overload)
+
+    # ------------------------------------------------------------------
+    # Failover: watchdog-driven replacement of dead / wedged NFs
+    # ------------------------------------------------------------------
+    def enable_failover(
+            self, host: NfvHost | str,
+            nf_factories: typing.Mapping[
+                str, typing.Callable[[], typing.Any]],
+            interval_ns: int = 10_000_000,
+            heartbeat_timeout_ns: int = 50_000_000,
+            mode: str = "standby_process",
+            max_respawns: int = 8) -> "NfWatchdog":
+        """Detect dead or wedged NFs on ``host`` and replace them.
+
+        Starts an :class:`~repro.faults.watchdog.NfWatchdog` on the
+        host's manager; when a VM of a service in ``nf_factories`` fails,
+        the watchdog salvages its queue (requeue to survivors / default-
+        edge degradation), quarantines the service while it has no
+        replicas, and this wiring launches a replacement through the
+        orchestrator using a fast launch ``mode`` ("standby_process" or
+        "restore").  When the replacement registers, quarantined rules
+        are reinstated and the recovery (MTTR, packets lost) is recorded.
+        ``max_respawns`` bounds replacement launches per service.
+        """
+        from repro.faults.watchdog import NfWatchdog
+
+        if self.orchestrator is None:
+            raise RuntimeError("failover needs an orchestrator")
+        self.orchestrator.launch_time_ns(mode)  # reject bad modes up front
+        if isinstance(host, str):
+            host = self.hosts[host]
+        respawns: dict[str, int] = {}
+
+        def on_failure(service_id: str, vm: typing.Any,
+                       cause: str) -> None:
+            factory = nf_factories.get(service_id)
+            if factory is None:
+                return
+            if respawns.get(service_id, 0) >= max_respawns:
+                return
+            respawns[service_id] = respawns.get(service_id, 0) + 1
+            ready = self.orchestrator.launch_nf(host, factory, mode=mode)
+            ready.callbacks.append(
+                lambda _event: watchdog.notify_replacement(service_id))
+
+        watchdog = NfWatchdog(
+            host.manager, interval_ns=interval_ns,
+            heartbeat_timeout_ns=heartbeat_timeout_ns,
+            on_failure=on_failure)
+        return watchdog.start()
 
     # ------------------------------------------------------------------
     # Telemetry: periodic upward state flow (§3.4 "NF–SDN Coordination")

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import dataclasses
 import time
-import typing
 
 from repro.core.placement.model import (
     FlowRequest,

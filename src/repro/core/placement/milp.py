@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import dataclasses
 import time
-import typing
 
 import numpy as np
 from scipy import optimize, sparse

@@ -11,8 +11,16 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.net.packet import wire_bits  # noqa: F401  (re-export convenience)
+from repro.net.packet import wire_bits
 from repro.topology.topology import Topology
+
+__all__ = [
+    "FlowRequest",
+    "PlacementProblem",
+    "PlacementResult",
+    "compute_utilizations",
+    "wire_bits",  # re-exported for convenience
+]
 
 
 @dataclasses.dataclass(frozen=True)

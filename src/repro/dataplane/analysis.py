@@ -9,7 +9,6 @@ simulation and the calibration drifting apart.
 
 from __future__ import annotations
 
-import typing
 
 from repro.dataplane.costs import HostCosts
 from repro.net.packet import transmission_ns, wire_bits

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import typing
 
+from repro.dataplane.actions import Destination
 from repro.dataplane.costs import HostCosts
 from repro.dataplane.flow_table import FlowTableEntry
 from repro.dataplane.load_balancer import LoadBalancePolicy
-from repro.dataplane.manager import NfManager, NicPort
+from repro.dataplane.manager import ControlPlanePolicy, NfManager, NicPort
 from repro.dataplane.vm import NfVm
 from repro.nfs.base import NetworkFunction
 from repro.sim.randomness import RandomStreams
@@ -33,6 +34,8 @@ class NfvHost:
                      LoadBalancePolicy.LEAST_QUEUE),
                  lookup_cache: bool = True,
                  conflict_policy: str = "action_priority",
+                 control_policy: ControlPlanePolicy | None = None,
+                 miss_fallback: Destination | None = None,
                  seed: int = 0) -> None:
         self.sim = sim
         self.name = name
@@ -40,6 +43,7 @@ class NfvHost:
             sim, name=name, costs=costs, controller=controller,
             tx_threads=tx_threads, load_balance=load_balance,
             lookup_cache=lookup_cache, conflict_policy=conflict_policy,
+            control_policy=control_policy, miss_fallback=miss_fallback,
             streams=RandomStreams(seed=seed))
         for port_name in ports:
             self.manager.add_port(port_name, line_rate_gbps=line_rate_gbps)

@@ -18,6 +18,7 @@ One :class:`NfManager` runs on each SDNFV host.  It owns:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import typing
 
@@ -47,14 +48,46 @@ from repro.dataplane.vm import NfVm
 from repro.net.flow import FiveTuple, FlowMatch
 from repro.net.packet import Packet, transmission_ns
 from repro.nfs.base import NetworkFunction
+from repro.sim.events import Event
 from repro.sim.randomness import RandomStreams
 from repro.sim.simulator import Simulator
 from repro.sim.store import Store
+from repro.sim.units import MS
 
 _group_ids = itertools.count()
 
 # Bound on the per-flow lookup-plan cache (entries, not bytes).
 _PLAN_CACHE_LIMIT = 65536
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlPlanePolicy:
+    """Client-side hardening for the manager → SDN controller channel.
+
+    §3 argues hosts must keep making local decisions when the controller
+    is slow or unreachable.  With a policy attached, each flow request
+    gets a ``timeout_ns`` deadline; on timeout the manager retries with
+    capped exponential backoff up to ``max_attempts`` total tries, then
+    gives up and degrades (drop or :attr:`NfManager.miss_fallback`)
+    instead of blocking the miss queue forever.
+    """
+
+    timeout_ns: int = 100 * MS
+    max_attempts: int = 3
+    backoff_base_ns: int = 10 * MS
+    backoff_cap_ns: int = 500 * MS
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Delay before retry number ``attempt + 1`` (0-based, capped)."""
+        return min(self.backoff_cap_ns, self.backoff_base_ns * (2 ** attempt))
 
 
 class NicPort:
@@ -73,6 +106,9 @@ class NicPort:
         self.name = name
         self.line_rate_gbps = line_rate_gbps
         self.rx_dropped = 0
+        self.link_dropped = 0
+        self.link_up = True
+        self._link_restored: Event | None = None
         self.ingress = Store(sim, capacity=rx_frames)
         self.egress = Store(sim)
         self._tx_fifo = Store(sim)
@@ -83,10 +119,25 @@ class NicPort:
         self.on_egress: typing.Callable[[Packet], None] | None = None
         sim.process(self._drain())
 
+    def set_link(self, up: bool) -> None:
+        """Flip link state (LinkFlap faults).  While down, arriving frames
+        are dropped and queued egress frames wait for the link."""
+        if up == self.link_up:
+            return
+        self.link_up = up
+        if up:
+            restored, self._link_restored = self._link_restored, None
+            if restored is not None:
+                restored.succeed()
+        else:
+            self._link_restored = Event(self.sim)
+
     def _drain(self):
         """Serialize frames onto the wire at the line rate."""
         while True:
             packet: Packet = yield self._tx_fifo.get()
+            while not self.link_up:
+                yield self._link_restored
             yield self.sim.timeout(
                 transmission_ns(packet.size, self.line_rate_gbps))
             self.tx_packets += 1
@@ -101,7 +152,11 @@ class NicPort:
         self._tx_fifo.try_put(packet)
 
     def receive(self, packet: Packet) -> bool:
-        """Deliver an arriving frame into the RX queue (drop when full)."""
+        """Deliver an arriving frame into the RX queue (drop when full or
+        while the link is down)."""
+        if not self.link_up:
+            self.link_dropped += 1
+            return False
         if self.ingress.try_put(packet):
             return True
         self.rx_dropped += 1
@@ -139,7 +194,9 @@ class NfManager:
                      LoadBalancePolicy.LEAST_QUEUE),
                  conflict_policy: str = "action_priority",
                  lookup_cache: bool = True,
-                 streams: RandomStreams | None = None) -> None:
+                 streams: RandomStreams | None = None,
+                 control_policy: ControlPlanePolicy | None = None,
+                 miss_fallback: Destination | None = None) -> None:
         if tx_threads < 1:
             raise ValueError("need at least one TX thread")
         self.sim = sim
@@ -148,6 +205,13 @@ class NfManager:
         self.controller = controller
         self.conflict_policy = conflict_policy
         self.lookup_cache = lookup_cache
+        # Control-plane hardening: None means wait forever (legacy
+        # behaviour); a policy adds timeout + retry + bounded budget.
+        self.control_policy = control_policy
+        # Where flows go when the control plane cannot answer: None drops
+        # them; a Destination (typically the exit port — the service
+        # graph's outermost default edge) forwards them unprocessed.
+        self.miss_fallback = miss_fallback
         self.streams = streams or RandomStreams(seed=0)
         self.flow_table = FlowTable()
         self.stats = HostStats()
@@ -218,6 +282,97 @@ class NfManager:
         replicas = self.vms_by_service.get(vm.service_id, [])
         if vm in replicas:
             replicas.remove(vm)
+
+    # ------------------------------------------------------------------
+    # Failure handling (§3.1: "respond to failure or overload")
+    # ------------------------------------------------------------------
+    def fail_vm(self, vm: NfVm, cause: str = "crash") -> dict[str, int]:
+        """Take a dead or wedged VM out of service and salvage its queue.
+
+        The VM is unregistered, its thread killed (idempotent), and every
+        descriptor still in its RX ring is re-dispatched: to a surviving
+        replica when one exists, else along the dead service's own default
+        edge (graceful degradation), else dropped with a count.  Returns
+        the salvage accounting.
+        """
+        service = vm.service_id
+        self.unregister_vm(vm)
+        drained = vm.rx_ring.drain()
+        vm.crash(cause)
+        self.stats.failed_vms += 1
+        survivors = self.vms_by_service.get(service, ())
+        requeued = degraded = lost = 0
+        for descriptor in drained:
+            if survivors:
+                self.stats.requeued_packets += 1
+                requeued += 1
+                self._route(descriptor, ToService(service))
+            elif self._bypass_dead_service(descriptor, service):
+                degraded += 1
+            else:
+                lost += 1
+                self._drop(descriptor, "dropped_no_vm")
+        if self.event_log is not None:
+            self.event_log.record("nf_failure", host=self.name,
+                                  service=service, vm=vm.vm_id, cause=cause,
+                                  requeued=requeued, degraded=degraded,
+                                  lost=lost)
+        return {"requeued": requeued, "degraded": degraded, "lost": lost}
+
+    def _bypass_dead_service(self, descriptor: PacketDescriptor,
+                             service: str) -> bool:
+        """Route a descriptor as if ``service`` had returned Default —
+        the service graph's default edge is the fallback path."""
+        entry = self.flow_table.lookup(service, descriptor.packet.flow,
+                                       now_ns=self.sim.now)
+        if entry is None or entry.default_action == ToService(service):
+            return False
+        self.stats.degraded_packets += 1
+        descriptor.scope = service
+        self._follow_entry(descriptor, entry, entry.default_action)
+        return True
+
+    def quarantine_service(self, service: str
+                           ) -> list[FlowTableEntry] | None:
+        """Reroute traffic around a service with no live VMs.
+
+        Every rule whose *default* leads to ``service`` is rewritten to the
+        service's own default edge, so flows degrade gracefully instead of
+        blackholing while a replacement boots.  Returns the displaced
+        rules so :meth:`restore_service` can reinstate them — entries
+        pointing at the dead service are rewritten, not leaked.
+        """
+        bypass = ToService(service)
+        fallback = self._scope_default(service, FlowMatch.any())
+        if fallback is None or fallback == bypass:
+            return None
+        displaced: list[FlowTableEntry] = []
+        for scope in list(self.flow_table.scopes()):
+            if scope == service:
+                continue
+            for entry in list(self.flow_table.entries(scope)):
+                if entry.parallel:
+                    continue  # fan-out groups lose the member, not the flow
+                if entry.default_action == bypass:
+                    displaced.append(entry)
+                    self.install_rule(entry.with_default(fallback))
+        if self.event_log is not None:
+            self.event_log.record("service_quarantined", host=self.name,
+                                  service=service, rewritten=len(displaced),
+                                  fallback=str(fallback))
+        return displaced
+
+    def restore_service(self, service: str,
+                        displaced: typing.Iterable[FlowTableEntry]) -> None:
+        """Reinstate rules displaced by :meth:`quarantine_service` once a
+        replacement VM is serving again."""
+        count = 0
+        for entry in displaced:
+            self.install_rule(entry)
+            count += 1
+        if self.event_log is not None:
+            self.event_log.record("service_restored", host=self.name,
+                                  service=service, reinstated=count)
 
     def install_rule(self, entry: FlowTableEntry) -> None:
         """Install a flow rule, enforcing the read-only parallel rule."""
@@ -570,16 +725,13 @@ class NfManager:
             for descriptor in self._pending_flows.pop(key):
                 self._drop(descriptor, "dropped_no_rule")
             return
-        try:
-            rules = yield self.controller.flow_request(self.name, scope,
-                                                       flow)
-        except Exception:  # noqa: BLE001 - controller fault isolation
-            # The controller (or its app) failed this request: drop the
-            # buffered packets and keep the data plane alive.
-            for descriptor in self._pending_flows.pop(key):
-                self._drop(descriptor, "dropped_no_rule")
+        rules = yield from self._request_rules(scope, flow)
+        if rules is None:
+            # Control plane unreachable (or its app failed the request):
+            # degrade instead of blocking — the data plane stays alive.
+            self._degrade_pending(key)
             return
-        for rule in rules or ():
+        for rule in rules:
             self.install_rule(rule)
         buffered = self._pending_flows.pop(key)
         for descriptor in buffered:
@@ -588,6 +740,65 @@ class NfManager:
                 self._drop(descriptor, "dropped_no_rule")
             else:
                 self._follow_entry(descriptor, entry, entry.default_action)
+
+    def _request_rules(self, scope: str, flow: FiveTuple):
+        """Ask the controller for rules; None means giving up.
+
+        Without a :class:`ControlPlanePolicy` this is a single request
+        that waits as long as the controller takes.  With one, each
+        attempt is bounded by ``timeout_ns`` and retried with capped
+        exponential backoff up to ``max_attempts`` tries.
+        """
+        policy = self.control_policy
+        if policy is None:
+            try:
+                rules = yield self.controller.flow_request(self.name, scope,
+                                                           flow)
+            except Exception:  # noqa: BLE001 - controller fault isolation
+                return None
+            return list(rules or ())
+        for attempt in range(policy.max_attempts):
+            reply = self.controller.flow_request(self.name, scope, flow)
+            deadline = self.sim.timeout(policy.timeout_ns)
+            failed = False
+            try:
+                yield self.sim.any_of([reply, deadline])
+            except Exception:  # noqa: BLE001 - controller fault isolation
+                failed = True
+            if not failed and reply.processed and reply.ok:
+                return list(reply.value or ())
+            if not (failed or reply.processed):
+                # Deadline fired first: the request timed out.  A late
+                # reply is ignored (the AnyOf defuses late failures).
+                self.stats.sdn_timeouts += 1
+                if self.event_log is not None:
+                    self.event_log.record("sdn_timeout", host=self.name,
+                                          scope=scope, attempt=attempt)
+            if attempt + 1 < policy.max_attempts:
+                self.stats.sdn_retries += 1
+                yield self.sim.timeout(policy.backoff_ns(attempt))
+        if self.event_log is not None:
+            self.event_log.record("controller_unreachable", host=self.name,
+                                  scope=scope,
+                                  attempts=policy.max_attempts)
+        return None
+
+    def _degrade_pending(self, key: tuple[str, FiveTuple]) -> None:
+        """Release a miss queue without rules: fallback-forward or drop."""
+        buffered = self._pending_flows.pop(key)
+        if self.miss_fallback is not None:
+            for descriptor in buffered:
+                self.stats.degraded_packets += 1
+                self._route(descriptor, self.miss_fallback)
+        else:
+            for descriptor in buffered:
+                self._drop(descriptor, "dropped_no_rule")
+        if self.event_log is not None:
+            self.event_log.record(
+                "miss_degraded", host=self.name, scope=key[0],
+                packets=len(buffered),
+                fallback=str(self.miss_fallback) if self.miss_fallback
+                else "drop")
 
     # ------------------------------------------------------------------
     # Cross-layer messages (§3.4)

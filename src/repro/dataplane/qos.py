@@ -11,11 +11,9 @@ congested link instead of queueing behind it.
 
 from __future__ import annotations
 
-import typing
-
 from repro.dataplane.manager import NicPort
 from repro.net.packet import Packet, transmission_ns
-from repro.net.qos import (  # noqa: F401  (re-exported for convenience)
+from repro.net.qos import (
     DSCP_ASSURED,
     DSCP_BEST_EFFORT,
     DSCP_EXPEDITED,
@@ -24,6 +22,16 @@ from repro.net.qos import (  # noqa: F401  (re-exported for convenience)
 )
 from repro.sim.simulator import Simulator
 from repro.sim.store import Store
+
+__all__ = [
+    # re-exported marking vocabulary (repro.net.qos)
+    "DSCP_ASSURED",
+    "DSCP_BEST_EFFORT",
+    "DSCP_EXPEDITED",
+    "PRIORITY_ANNOTATION",
+    "dscp_to_priority",
+    "PriorityNicPort",
+]
 
 
 class PriorityNicPort(NicPort):

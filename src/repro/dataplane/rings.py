@@ -60,3 +60,12 @@ class RingBuffer:
 
     def try_get(self) -> typing.Any | None:
         return self._store.try_get()
+
+    def drain(self) -> list[typing.Any]:
+        """Remove and return every queued item (failover salvage path)."""
+        items: list[typing.Any] = []
+        while True:
+            item = self._store.try_get()
+            if item is None:
+                return items
+            items.append(item)

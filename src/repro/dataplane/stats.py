@@ -25,7 +25,13 @@ class HostStats:
     dropped_no_vm: int = 0
     policy_violations: int = 0
     sdn_requests: int = 0
+    sdn_retries: int = 0
+    sdn_timeouts: int = 0
     parallel_groups: int = 0
+    failed_vms: int = 0
+    requeued_packets: int = 0
+    degraded_packets: int = 0
+    lost_in_nf: int = 0
     per_service_packets: collections.Counter = dataclasses.field(
         default_factory=collections.Counter)
     per_port_tx_bytes: collections.Counter = dataclasses.field(
@@ -56,5 +62,11 @@ class HostStats:
             "dropped_no_vm": self.dropped_no_vm,
             "policy_violations": self.policy_violations,
             "sdn_requests": self.sdn_requests,
+            "sdn_retries": self.sdn_retries,
+            "sdn_timeouts": self.sdn_timeouts,
             "parallel_groups": self.parallel_groups,
+            "failed_vms": self.failed_vms,
+            "requeued_packets": self.requeued_packets,
+            "degraded_packets": self.degraded_packets,
+            "lost_in_nf": self.lost_in_nf,
         }

@@ -5,6 +5,14 @@ application; each core runs a thread with its own ring buffer pair shared
 with the host's RX/TX threads.  Here one :class:`NfVm` models one such
 thread (replicas of a service are separate ``NfVm`` instances, which is
 also how the load balancer sees them).
+
+Failure model (§3.1: NF Managers "respond to failure or overload"): a VM
+may *crash* (its thread dies, :class:`~repro.sim.events.Interrupt` is
+thrown into the packet loop) or *hang* (the thread wedges mid-packet and
+stops making progress).  Liveness is exposed through the same shared ring
+state a real manager reads — ``last_progress_ns`` advances every time the
+thread moves a descriptor, which is the heartbeat the watchdog in
+:mod:`repro.faults.watchdog` samples.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from repro.dataplane.costs import HostCosts
 from repro.dataplane.descriptors import PacketDescriptor
 from repro.dataplane.rings import DEFAULT_RING_SLOTS, RingBuffer
 from repro.nfs.base import NetworkFunction, NfContext
+from repro.sim.events import Interrupt
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.dataplane.manager import NfManager
@@ -37,7 +46,15 @@ class NfVm:
         self.rx_ring = RingBuffer(self.sim, name=f"{self.vm_id}/rx",
                                   slots=ring_slots)
         self.packets_processed = 0
+        self.packets_lost = 0
         self.busy_ns = 0
+        # Heartbeat state: when the thread last moved a descriptor, and the
+        # descriptor it currently holds (None while idle on the ring).
+        self.last_progress_ns = 0
+        self.inflight: PacketDescriptor | None = None
+        self.failed = False
+        self.failure_cause: str | None = None
+        self._hung = False
         self.ctx = NfContext(
             sim=self.sim,
             service_id=nf.service_id,
@@ -55,6 +72,22 @@ class NfVm:
     def read_only(self) -> bool:
         return self.nf.read_only
 
+    @property
+    def crashed(self) -> bool:
+        """True once the VM's thread is dead — killed, or the NF raised."""
+        return self.failed or (self._process is not None
+                               and not self._process.is_alive)
+
+    def stalled(self, now_ns: int, heartbeat_timeout_ns: int) -> bool:
+        """Wedged: holding a descriptor but no progress for too long.
+
+        An idle VM (nothing in flight) is never considered stalled — it is
+        legitimately blocked on its empty RX ring.
+        """
+        return (not self.failed
+                and self.inflight is not None
+                and now_ns - self.last_progress_ns >= heartbeat_timeout_ns)
+
     def start(self) -> None:
         """Begin the VM's packet loop (called at registration)."""
         if self._process is not None:
@@ -62,30 +95,80 @@ class NfVm:
         self.nf.on_register(self.ctx)
         self._process = self.sim.process(self._run())
 
+    # ------------------------------------------------------------------
+    # Fault surface (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self, cause: str = "crash") -> None:
+        """Kill the VM thread at the current time.
+
+        The interrupt is delivered asynchronously (at the current
+        timestamp); the packet loop's cleanup then marks the VM failed
+        and accounts for any in-flight descriptor.  Idempotent.
+        """
+        if self.failed or self._process is None or not self._process.is_alive:
+            self.failed = True
+            self.failure_cause = self.failure_cause or cause
+            return
+        self._hung = False
+        self._process.interrupt(cause)
+
+    def hang(self) -> None:
+        """Wedge the VM: it stops mid-packet on its next dequeue and makes
+        no further progress until crashed/terminated."""
+        self._hung = True
+
+    # ------------------------------------------------------------------
+    # Packet loop
+    # ------------------------------------------------------------------
     def _run(self):
         costs: HostCosts = self.manager.costs
-        while True:
-            descriptor: PacketDescriptor = yield self.rx_ring.get()
-            work = (costs.vm_service_ns
-                    + self.nf.processing_cost_ns(descriptor.packet, self.ctx))
-            yield self.sim.timeout(work)
-            self.busy_ns += work
-            self.packets_processed += 1
-            descriptor.verdict = self.nf.handle_packet(descriptor.packet,
-                                                       self.ctx)
-            descriptor.scope = self.service_id
-            descriptor.vm_priority = self.priority
-            # Ring hops + poll-batching pickup are latency, not occupancy:
-            # hand the descriptor to the TX tier after a non-blocking delay.
-            # Parallel-group members are staggered by their index, modeling
-            # cache contention on the shared packet buffer.
-            delay = costs.vm_pipeline_latency_ns
-            if descriptor.group_id is not None:
-                delay += costs.parallel_stagger_ns * descriptor.group_index
-            self.sim.schedule(
-                delay,
-                lambda desc=descriptor: self.manager.tx_submit(desc, self))
+        try:
+            while True:
+                descriptor: PacketDescriptor = yield self.rx_ring.get()
+                self.inflight = descriptor
+                self.last_progress_ns = self.sim.now
+                if self._hung:
+                    # Wedged mid-packet: block on an event that never
+                    # fires.  Only an interrupt (watchdog kill) resumes us.
+                    yield self.sim.event()
+                work = (costs.vm_service_ns
+                        + self.nf.processing_cost_ns(descriptor.packet,
+                                                     self.ctx))
+                yield self.sim.timeout(work)
+                self.busy_ns += work
+                self.packets_processed += 1
+                descriptor.verdict = self.nf.handle_packet(descriptor.packet,
+                                                           self.ctx)
+                descriptor.scope = self.service_id
+                descriptor.vm_priority = self.priority
+                self.inflight = None
+                self.last_progress_ns = self.sim.now
+                # Ring hops + poll-batching pickup are latency, not
+                # occupancy: hand the descriptor to the TX tier after a
+                # non-blocking delay.  Parallel-group members are staggered
+                # by their index, modeling cache contention on the shared
+                # packet buffer.
+                delay = costs.vm_pipeline_latency_ns
+                if descriptor.group_id is not None:
+                    delay += costs.parallel_stagger_ns * descriptor.group_index
+                self.sim.schedule(
+                    delay,
+                    lambda desc=descriptor: self.manager.tx_submit(desc, self))
+        except Interrupt as interrupt:
+            self._on_killed(str(interrupt.cause or "crash"))
+
+    def _on_killed(self, cause: str) -> None:
+        self.failed = True
+        self.failure_cause = cause
+        self._hung = False
+        if self.inflight is not None:
+            # The packet the NF was holding dies with it.
+            self.packets_lost += 1
+            self.manager.stats.lost_in_nf += 1
+            self.inflight.packet.release()
+            self.inflight = None
 
     def __repr__(self) -> str:
+        state = " FAILED" if self.failed else ""
         return (f"<NfVm {self.vm_id} queue={self.rx_ring.occupancy} "
-                f"processed={self.packets_processed}>")
+                f"processed={self.packets_processed}{state}>")

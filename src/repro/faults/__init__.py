@@ -1,0 +1,45 @@
+"""Fault injection and resilience (the part of §3 the paper only argues).
+
+SDNFV's hierarchy is pitched as robust: NFs are untrusted and may die,
+hosts keep making local decisions when the controller is slow, and the
+service graph's default edges give every flow a fallback path.  This
+package makes those claims testable:
+
+- :class:`FaultPlan` + :class:`NfCrash` / :class:`NfHang` /
+  :class:`LinkFlap` / :class:`ControllerOutage` / :class:`HostOverload` —
+  seeded, schedulable fault descriptions that replay deterministically;
+- :class:`FaultInjector` — arms a plan against running hosts and a
+  controller;
+- :class:`NfWatchdog` — the NF Manager's heartbeat-driven failure
+  detector and failover driver (drain, requeue, quarantine, restore).
+
+Control-plane hardening (timeout / backoff / retry budget) lives in
+:class:`repro.dataplane.ControlPlanePolicy`; wiring the watchdog to
+standby-VM launches is ``SdnfvApp.enable_failover``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ControllerOutage,
+    Fault,
+    FaultPlan,
+    HostOverload,
+    LinkFlap,
+    NfCrash,
+    NfHang,
+)
+from repro.faults.watchdog import FailureRecord, NfWatchdog, RecoveryRecord
+
+__all__ = [
+    "ControllerOutage",
+    "FailureRecord",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "HostOverload",
+    "LinkFlap",
+    "NfCrash",
+    "NfHang",
+    "NfWatchdog",
+    "RecoveryRecord",
+]

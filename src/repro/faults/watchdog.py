@@ -1,0 +1,171 @@
+"""The NF Manager watchdog: detect dead or wedged VMs, fail over.
+
+Paper §3.1 makes the NF Manager responsible for "respond[ing] to failure
+or overload" locally, without waiting for the global tier.  The watchdog
+is that responder: it periodically samples each VM's heartbeat — the
+progress counters the VM publishes on its shared ring state
+(``last_progress_ns``, the same head/tail movement a real manager
+observes on its lock-free rings) — and when a VM is dead (crashed) or
+wedged (holding a descriptor with a stale heartbeat), it:
+
+1. kills the wedged thread (``Process.interrupt`` through
+   :meth:`NfVm.crash`),
+2. salvages the VM's RX ring via :meth:`NfManager.fail_vm` — descriptors
+   are re-dispatched to surviving replicas or along the service's default
+   edge (graceful degradation),
+3. quarantines the service when no replica is left — flow rules whose
+   default leads to it are rewritten to its own default edge, not leaked —
+4. and notifies an ``on_failure`` callback, through which the SDNFV
+   Application boots a replacement
+   (``SdnfvApp.launch_nf(..., mode="standby_process" | "restore")``).
+
+When the replacement registers, :meth:`notify_replacement` reinstates the
+displaced rules and records the recovery (MTTR, packets lost during the
+outage) in the manager's event log, so failover cost is measurable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.dataplane.manager import NfManager
+from repro.dataplane.vm import NfVm
+from repro.sim.units import MS
+
+
+def _drop_total(manager: NfManager) -> int:
+    stats = manager.stats
+    return (stats.dropped_no_vm + stats.dropped_no_rule
+            + stats.dropped_ring_full + stats.lost_in_nf)
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureRecord:
+    """One detected VM failure."""
+
+    service: str
+    vm_id: str
+    cause: str
+    detected_at_ns: int
+    requeued: int
+    degraded: int
+    lost: int
+    drops_before: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed failover (replacement VM serving again)."""
+
+    service: str
+    detected_at_ns: int
+    recovered_at_ns: int
+    lost_packets: int
+
+    @property
+    def mttr_ns(self) -> int:
+        return self.recovered_at_ns - self.detected_at_ns
+
+
+class NfWatchdog:
+    """Heartbeat-driven failure detector and failover driver for one host."""
+
+    def __init__(self, manager: NfManager,
+                 interval_ns: int = 10 * MS,
+                 heartbeat_timeout_ns: int = 50 * MS,
+                 on_failure: typing.Callable[[str, NfVm, str], None]
+                 | None = None) -> None:
+        if interval_ns <= 0:
+            raise ValueError("watchdog interval must be positive")
+        if heartbeat_timeout_ns <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        self.manager = manager
+        self.sim = manager.sim
+        self.interval_ns = interval_ns
+        self.heartbeat_timeout_ns = heartbeat_timeout_ns
+        self.on_failure = on_failure
+        self.failures: list[FailureRecord] = []
+        self.recoveries: list[RecoveryRecord] = []
+        # service -> displaced flow rules awaiting a replacement VM
+        self._quarantined: dict[str, list] = {}
+        # service -> detection time of the failure awaiting recovery
+        self._pending: dict[str, FailureRecord] = {}
+        self._started = False
+
+    def start(self) -> "NfWatchdog":
+        """Begin periodic sweeps (opt-in, like the overload monitor)."""
+        if self._started:
+            raise RuntimeError("watchdog already started")
+        self._started = True
+        self.sim.process(self._loop())
+        return self
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.interval_ns)
+            self.sweep()
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def sweep(self) -> list[FailureRecord]:
+        """One detection pass (also callable directly, e.g. from tests)."""
+        now = self.sim.now
+        detected: list[FailureRecord] = []
+        for service, vms in list(self.manager.vms_by_service.items()):
+            for vm in list(vms):
+                if vm.crashed:
+                    detected.append(self._handle_failure(vm, "crash"))
+                elif vm.stalled(now, self.heartbeat_timeout_ns):
+                    detected.append(self._handle_failure(vm, "hang"))
+        return detected
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _handle_failure(self, vm: NfVm, cause: str) -> FailureRecord:
+        service = vm.service_id
+        drops_before = _drop_total(self.manager)
+        salvage = self.manager.fail_vm(vm, cause)
+        record = FailureRecord(
+            service=service, vm_id=vm.vm_id, cause=cause,
+            detected_at_ns=self.sim.now, drops_before=drops_before,
+            **salvage)
+        self.failures.append(record)
+        # Earliest unrecovered failure defines the outage window.
+        self._pending.setdefault(service, record)
+        if not self.manager.vms_by_service.get(service):
+            displaced = self.manager.quarantine_service(service)
+            if displaced:
+                self._quarantined.setdefault(service, []).extend(displaced)
+        if self.on_failure is not None:
+            self.on_failure(service, vm, cause)
+        return record
+
+    def notify_replacement(self, service: str) -> RecoveryRecord | None:
+        """A replacement VM for ``service`` is registered and serving.
+
+        Reinstates quarantined rules and closes the outage window.
+        """
+        displaced = self._quarantined.pop(service, None)
+        if displaced:
+            self.manager.restore_service(service, displaced)
+        failure = self._pending.pop(service, None)
+        if failure is None:
+            return None
+        lost = _drop_total(self.manager) - failure.drops_before
+        record = RecoveryRecord(
+            service=service, detected_at_ns=failure.detected_at_ns,
+            recovered_at_ns=self.sim.now, lost_packets=lost)
+        self.recoveries.append(record)
+        if self.manager.event_log is not None:
+            self.manager.event_log.record(
+                "nf_recovered", host=self.manager.name, service=service,
+                mttr_ns=record.mttr_ns, lost=lost)
+        return record
+
+    @property
+    def degraded_services(self) -> set[str]:
+        """Services currently routed around (quarantined)."""
+        return set(self._quarantined)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import bisect
-import typing
 
 from repro.sim.units import S
 

@@ -7,7 +7,6 @@ everything else follows the default path untouched.
 
 from __future__ import annotations
 
-import typing
 
 from repro.dataplane.actions import Verdict
 from repro.net.flow import FlowMatch

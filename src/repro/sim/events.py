@@ -145,7 +145,8 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise RuntimeError("cannot interrupt a finished process")
-        if self._target is self.sim.active_event:
+        if (self._target is not None
+                and self._target is self.sim.active_event):
             raise RuntimeError("a process cannot interrupt itself")
         interrupt_event = Event(self.sim)
         interrupt_event._exception = Interrupt(cause)

@@ -11,7 +11,6 @@ trunk ports patched through the fabric, and the returned
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.dataplane.costs import HostCosts
 from repro.dataplane.host import NfvHost

@@ -10,7 +10,6 @@ continue through host 2's flow table.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.dataplane.host import NfvHost
 from repro.net.packet import Packet

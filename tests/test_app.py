@@ -9,12 +9,11 @@ from repro.core.state import StateKind, StateTier, classify_state
 from repro.dataplane import (
     ChangeDefault,
     NfvHost,
-    RequestMe,
     SkipMe,
     ToService,
     UserMessage,
 )
-from repro.net import FiveTuple, FlowMatch, Packet
+from repro.net import FlowMatch, Packet
 from repro.nfs import CounterNf, NoOpNf
 from repro.sim import MS, S
 

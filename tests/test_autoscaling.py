@@ -7,7 +7,7 @@ from repro.core import SdnfvApp
 from repro.dataplane import NfvHost
 from repro.net import FiveTuple, Packet
 from repro.nfs import ComputeNf, NoOpNf
-from repro.sim import MS, S, Simulator
+from repro.sim import MS, S
 
 from tests.conftest import install_chain
 

@@ -5,10 +5,10 @@ import pytest
 from repro.control import NfvOrchestrator, SdnController
 from repro.control.openflow import FlowModMessage, PacketInMessage
 from repro.control.orchestrator import VM_BOOT_NS
-from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
-from repro.net import FiveTuple, FlowMatch, Packet
+from repro.dataplane import FlowTableEntry, NfvHost, ToPort
+from repro.net import FlowMatch, Packet
 from repro.nfs import NoOpNf
-from repro.sim import MS, S, US, Simulator
+from repro.sim import MS, S, US
 
 from tests.conftest import install_chain
 

@@ -4,7 +4,6 @@ descriptors, stats."""
 import pytest
 
 from repro.dataplane import (
-    Drop,
     HostCosts,
     HostStats,
     NfVerdict,

@@ -9,10 +9,10 @@ from repro.core import (
     ServiceGraph,
     deploy_distributed,
 )
-from repro.net import FiveTuple, FlowMatch, Packet
+from repro.net import FiveTuple, Packet
 from repro.net.headers import PROTO_TCP
-from repro.nfs import CounterNf, NoOpNf
-from repro.sim import MS, Simulator
+from repro.nfs import CounterNf
+from repro.sim import MS
 from repro.topology import Link, NodeSpec, Topology, build_network
 
 

@@ -14,7 +14,7 @@ from repro.nfs import (
     classify_payload,
 )
 from repro.nfs.base import NfContext
-from repro.sim import MS, Simulator
+from repro.sim import MS
 
 
 def _ctx(sim):

@@ -6,11 +6,10 @@ from repro.control import NfvOrchestrator
 from repro.core import EXIT, SdnfvApp, ServiceGraph
 from repro.dataplane import NfvHost, UserMessage
 from repro.metrics import EventLog
-from repro.net import FiveTuple, FlowMatch, Packet
+from repro.net import FlowMatch, Packet
 from repro.nfs import NoOpNf
-from repro.sim import MS, S, Simulator
+from repro.sim import MS, S
 
-from tests.conftest import install_chain
 
 
 class TestEventLogBasics:

@@ -5,20 +5,12 @@ import pytest
 
 from repro.control import SdnController
 from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
-from repro.net import FiveTuple, FlowMatch, Packet
-from repro.net.headers import PROTO_TCP
+from repro.net import FlowMatch, Packet
 from repro.nfs import NoOpNf
-from repro.sim import MS, S, Simulator, US
+from repro.sim import MS, S, US
 from repro.sim.randomness import RandomStreams, exponential_ns
-from repro.workloads import (
-    FlowSpec,
-    ImixProfile,
-    ImixSource,
-    PktGen,
-    SIMPLE_IMIX,
-)
+from repro.workloads import FlowSpec, ImixProfile, ImixSource, PktGen
 
-from tests.conftest import install_chain
 
 
 class TestMultiWorkerController:

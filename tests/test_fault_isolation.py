@@ -2,14 +2,13 @@
 controller or the data plane; miss resolution preserves packet order;
 the plan cache stays bounded."""
 
-import pytest
 
 from repro.control import SdnController
 from repro.dataplane import FlowTableEntry, NfvHost, ToPort
 from repro.dataplane import manager as manager_module
 from repro.net import FiveTuple, FlowMatch, Packet
 from repro.net.headers import PROTO_TCP
-from repro.sim import MS, Simulator
+from repro.sim import MS
 
 
 class FlakyApp:

@@ -12,17 +12,16 @@ The paper's architecture diagram numbers five interactions:
 One test drives all five in order and asserts the recorded timeline.
 """
 
-import pytest
 
 from repro.control import NfvOrchestrator, SdnController
 from repro.core import EXIT, HierarchySnapshot, SdnfvApp, ServiceGraph
 from repro.dataplane import NfvHost, UserMessage
 from repro.metrics import EventLog
-from repro.net import FiveTuple, Packet
+from repro.net import Packet
 from repro.nfs import NoOpNf
 from repro.nfs.base import NetworkFunction
 from repro.dataplane.actions import Verdict
-from repro.sim import MS, S, Simulator
+from repro.sim import MS, S
 
 
 class AlarmAfterN(NetworkFunction):

@@ -35,7 +35,7 @@ from repro.dataplane import (
 from repro.net import FiveTuple, FlowMatch, Packet
 from repro.net.headers import PROTO_TCP
 from repro.nfs import CounterNf
-from repro.sim import MS, Simulator
+from repro.sim import MS
 
 GREEN = FiveTuple("10.0.0.71", "10.9.0.1", PROTO_TCP, 80, 20001)  # G
 BLUE = FiveTuple("10.0.0.66", "10.9.0.2", PROTO_TCP, 80, 20002)   # B

@@ -8,7 +8,7 @@ from repro.core import SdnfvApp, ServiceGraph
 from repro.core.service_graph import DROP, EXIT
 from repro.dataplane import NfvHost
 from repro.net import FiveTuple, FlowMatch, Packet
-from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.net.headers import PROTO_TCP
 from repro.nfs import (
     DdosDetector,
     DdosScrubber,

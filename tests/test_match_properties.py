@@ -1,11 +1,10 @@
 """Property-based tests for FlowMatch algebra: matches vs subsumes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net import FiveTuple, FlowMatch
-from repro.net.headers import PROTO_TCP, PROTO_UDP, ip_to_str
+from repro.net.headers import PROTO_TCP, PROTO_UDP
 
 ips = st.sampled_from(["10.0.0.1", "10.0.0.2", "10.1.0.1", "192.168.5.9"])
 ports = st.sampled_from([80, 443, 8080, 11211])

@@ -3,22 +3,14 @@
 import pytest
 
 from repro.core import EXIT, ServiceGraph
-from repro.dataplane import (
-    Drop,
-    FlowTableEntry,
-    NfvHost,
-    ToPort,
-    ToService,
-    Verdict,
-)
+from repro.dataplane import Drop, FlowTableEntry, NfvHost, ToPort, Verdict
 from repro.net import FiveTuple, FlowMatch, HttpRequest, HttpResponse, Packet
 from repro.net.flow import FlowMatch as FM
-from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.net.headers import PROTO_UDP
 from repro.nfs import HttpCache, NoOpNf
 from repro.nfs.base import NfContext
-from repro.sim import MS, Simulator
+from repro.sim import MS
 
-from tests.conftest import install_chain
 
 
 class TestFlowMatchSubsumption:

@@ -1,6 +1,5 @@
 """Packet substrate tests: headers, flows, matching, payload protocols."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings

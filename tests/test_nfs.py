@@ -35,7 +35,7 @@ from repro.nfs import (
 )
 from repro.nfs.base import NetworkFunction, NfContext
 from repro.nfs.ddos import DDOS_ALARM_KEY
-from repro.sim import S, Simulator
+from repro.sim import S
 from repro.workloads.sessions import video_reply_payload
 
 

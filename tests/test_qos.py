@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
+from repro.dataplane import NfvHost
 from repro.dataplane.qos import (
     DSCP_EXPEDITED,
     PRIORITY_ANNOTATION,
@@ -13,7 +13,7 @@ from repro.net import FiveTuple, FlowMatch, Packet
 from repro.net.headers import PROTO_TCP, PROTO_UDP
 from repro.nfs import DscpMarker, MarkingRule
 from repro.nfs.base import NfContext
-from repro.sim import MS, S, Simulator
+from repro.sim import S
 
 from tests.conftest import install_chain
 

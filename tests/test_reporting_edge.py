@@ -6,9 +6,9 @@ import pytest
 from repro.dataplane import HostCosts
 from repro.dataplane.analysis import predict_throughput_gbps, stage_rates_pps
 from repro.metrics import comparison_table, series_table
-from repro.net import FiveTuple, Packet
+from repro.net import Packet
 from repro.net.qos import dscp_to_priority
-from repro.sim import MS, Simulator
+from repro.sim import MS
 from repro.topology import Fabric
 from repro.dataplane import NfvHost, FlowTableEntry, ToPort
 from repro.net.flow import FlowMatch

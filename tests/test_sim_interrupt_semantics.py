@@ -1,9 +1,8 @@
 """Interrupt-semantics hardening: stale events must never mis-resume a
 process, and stores must not lose items to abandoned getters."""
 
-import pytest
 
-from repro.sim import Interrupt, Simulator, Store
+from repro.sim import Interrupt, Store
 
 
 class TestTargetDetachment:

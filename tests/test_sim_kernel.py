@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import MS, NS, S, US, Simulator
+from repro.sim import MS, NS, S, US
 from repro.sim.events import Interrupt
 from repro.sim.simulator import EmptySchedule
 

@@ -1,7 +1,6 @@
 """System-wide property-based tests: invariants under randomized chains,
 verdicts, and traffic patterns."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,8 +5,8 @@ import pytest
 from repro.baselines import make_dpdk_forwarder
 from repro.dataplane import NfvHost
 from repro.dataplane.tap import PacketTap
-from repro.net import FiveTuple, Packet
-from repro.nfs import NoOpNf, Sampler
+from repro.net import Packet
+from repro.nfs import NoOpNf
 from repro.sim import MS, Simulator
 from repro.workloads import (
     FlowSpec,

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.baselines import make_dpdk_forwarder
-from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
-from repro.net import FiveTuple, FlowMatch
-from repro.net.headers import PROTO_UDP
+from repro.dataplane import NfvHost
 from repro.nfs import MemcachedProxy, NoOpNf, VideoFlowDetector
-from repro.sim import MS, S, Simulator
+from repro.sim import MS, S
 from repro.workloads import (
     DdosRampWorkload,
     FlowChurnWorkload,
