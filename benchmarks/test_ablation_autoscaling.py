@@ -96,11 +96,12 @@ def test_ablation_autoscaling(report, benchmark):
             < orchestrator.launch_time_ns("boot"))
 
     rows = ["no autoscaling", "standby_process", "restore"]
+    columns = {
+        "configuration": rows,
+        "replicas": [base_replicas] + [scaled[m][0] for m in rows[1:]],
+        "latency_us": [base_latency] + [scaled[m][1] for m in rows[1:]],
+        "replica_ready_s": [0.0] + [scaled[m][2] or 0.0
+                                    for m in rows[1:]]}
     report("ablation_autoscaling", series_table(
         "Ablation — autoscaling under 2.4x overload "
-        "(late-window mean latency)",
-        {"configuration": rows,
-         "replicas": [base_replicas] + [scaled[m][0] for m in rows[1:]],
-         "latency_us": [base_latency] + [scaled[m][1] for m in rows[1:]],
-         "replica_ready_s": [0.0] + [scaled[m][2] or 0.0
-                                     for m in rows[1:]]}))
+        "(late-window mean latency)", columns), metrics=columns)

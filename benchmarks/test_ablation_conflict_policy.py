@@ -73,7 +73,8 @@ def test_ablation_conflict_policy(report, benchmark):
     # VM priority with the monitor ranked highest: observe-only, no drops.
     assert results["vm_priority (monitor ranked)"] == 100
 
+    columns = {"policy": list(results),
+               "delivered": list(results.values())}
     report("ablation_conflict_policy", series_table(
         "Ablation — parallel conflict policy (100 packets, 50% filter)",
-        {"policy": list(results),
-         "delivered": list(results.values())}))
+        columns), metrics=columns)

@@ -46,10 +46,11 @@ def test_ablation_division_batch_size(report, benchmark):
     assert (results[5].max_utilization
             <= results[1].max_utilization + 0.15)
 
+    columns = {
+        "batch_size": BATCH_SIZES,
+        "max_util": [results[b].max_utilization for b in BATCH_SIZES],
+        "instances": [results[b].total_instances() for b in BATCH_SIZES],
+        "solve_s": [results[b].solve_time_s for b in BATCH_SIZES]}
     report("ablation_division_batch", series_table(
         "Ablation — Division Heuristic batch size (10 flows, J1–J5)",
-        {"batch_size": BATCH_SIZES,
-         "max_util": [results[b].max_utilization for b in BATCH_SIZES],
-         "instances": [results[b].total_instances()
-                       for b in BATCH_SIZES],
-         "solve_s": [results[b].solve_time_s for b in BATCH_SIZES]}))
+        columns), metrics=columns)

@@ -60,9 +60,11 @@ def test_ablation_load_balancer(report, benchmark):
     assert (lq_drops, lq_p99) < (rr_drops, rr_p99)
     assert lq_received > 0
 
+    columns = {
+        "policy": [policy.value for policy in POLICIES],
+        "drops": [results[policy][0] for policy in POLICIES],
+        "p99_us": [results[policy][1] for policy in POLICIES],
+        "delivered": [results[policy][2] for policy in POLICIES]}
     report("ablation_load_balancer", series_table(
         "Ablation — load-balancing policy (2 uneven replicas, 16 flows)",
-        {"policy": [policy.value for policy in POLICIES],
-         "drops": [results[policy][0] for policy in POLICIES],
-         "p99_us": [results[policy][1] for policy in POLICIES],
-         "delivered": [results[policy][2] for policy in POLICIES]}))
+        columns), metrics=columns)

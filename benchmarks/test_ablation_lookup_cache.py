@@ -58,9 +58,10 @@ def test_ablation_lookup_cache(report, benchmark):
     assert cached_gbps >= raw_gbps - 0.1
     assert cached_lat <= raw_lat + 0.5
 
+    columns = {"cache": ["on", "off"],
+               "gbps": [cached_gbps, raw_gbps],
+               "lookups_per_pkt": [cached_lookups, raw_lookups],
+               "mean_rtt_us": [cached_lat, raw_lat]}
     report("ablation_lookup_cache", series_table(
         "Ablation — descriptor lookup cache (3-NF chain, 64 B)",
-        {"cache": ["on", "off"],
-         "gbps": [cached_gbps, raw_gbps],
-         "lookups_per_pkt": [cached_lookups, raw_lookups],
-         "mean_rtt_us": [cached_lat, raw_lat]}))
+        columns), metrics=columns)

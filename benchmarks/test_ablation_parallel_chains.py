@@ -54,8 +54,9 @@ def test_ablation_parallel_chain_length(report, benchmark):
     # At length 4 the gap is roughly 3 NF visits' worth of compute.
     assert sequential[-1] - parallel[-1] > 2.2 * COMPUTE_NS / 1000
 
+    columns = {"chain_length": LENGTHS,
+               "sequential": sequential,
+               "parallel": parallel}
     report("ablation_parallel_chains", series_table(
         "Ablation — mean RTT (us) vs chain length, 20 us/packet NFs",
-        {"chain_length": LENGTHS,
-         "sequential": sequential,
-         "parallel": parallel}))
+        columns), metrics=columns)

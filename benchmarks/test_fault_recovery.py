@@ -132,11 +132,12 @@ def test_fault_recovery(report):
         detected, recovered, lost = run["recoveries"][0]
         rows.append((seed, detected / MS, (recovered - detected) / MS,
                      lost, run["lost"]))
+    columns = {
+        "seed": [row[0] for row in rows],
+        "detected_ms": [round(row[1], 2) for row in rows],
+        "mttr_ms": [round(row[2], 2) for row in rows],
+        "lost_outage": [row[3] for row in rows],
+        "lost_total": [row[4] for row in rows]}
     report("fault_recovery", series_table(
         "Fault recovery — dpi crash under 100 Mbps Poisson load "
-        "(standby_process failover)",
-        {"seed": [row[0] for row in rows],
-         "detected_ms": [round(row[1], 2) for row in rows],
-         "mttr_ms": [round(row[2], 2) for row in rows],
-         "lost_outage": [row[3] for row in rows],
-         "lost_total": [row[4] for row in rows]}))
+        "(standby_process failover)", columns), metrics=columns)

@@ -110,9 +110,10 @@ def test_fig11_policy_change_latency(report, benchmark):
     assert recovered == pytest.approx(base_sdnfv, rel=0.25)
 
     rows_t = list(range(0, RUN_S, 5))
+    columns = {"t_s": rows_t,
+               "SDNFV": [_pps(sdnfv, t, t + 5) for t in rows_t],
+               "SDN": [_pps(sdn, t, t + 5) for t in rows_t]}
     report("fig11_policy_change", series_table(
         f"Fig. 11 — output packets/s (throttle on at {THROTTLE_ON_S}s, "
-        f"off at {THROTTLE_OFF_S}s; timeline scaled 1:4)",
-        {"t_s": rows_t,
-         "SDNFV": [_pps(sdnfv, t, t + 5) for t in rows_t],
-         "SDN": [_pps(sdn, t, t + 5) for t in rows_t]}))
+        f"off at {THROTTLE_OFF_S}s; timeline scaled 1:4)", columns),
+        metrics=columns)

@@ -79,9 +79,10 @@ def test_fig12_memcached_rtt_vs_rate(report, benchmark):
         rows.append((rate, "TwemProxy", rtt))
     for rate, rtt in zip(SDNFV_RATES, sdnfv):
         rows.append((rate, "SDNFV", rtt))
+    columns = {"req_per_s": [row[0] for row in rows],
+               "system": [row[1] for row in rows],
+               "rtt_us": [row[2] for row in rows]}
     report("fig12_memcached", series_table(
         f"Fig. 12 — memcached mean RTT (us) vs request rate "
         f"(SDNFV sustains {ratio:.0f}x TwemProxy's ceiling; paper: 102x)",
-        {"req_per_s": [row[0] for row in rows],
-         "system": [row[1] for row in rows],
-         "rtt_us": [row[2] for row in rows]}))
+        columns), metrics=columns)

@@ -76,11 +76,12 @@ def test_fig1_throughput_vs_punt_fraction(report, benchmark):
         if pct > 0:
             assert v256 < v1000
 
+    columns = {"pct_to_controller": PUNT_PERCENTS,
+               "1000B_packets": values_1000,
+               "256B_packets": values_256}
     report("fig1_ovs_controller", series_table(
         "Fig. 1 — OVS max throughput (Gbps) vs % packets to controller",
-        {"pct_to_controller": PUNT_PERCENTS,
-         "1000B_packets": values_1000,
-         "256B_packets": values_256}))
+        columns), metrics=columns)
 
 
 def test_fig1_des_validates_model(report, benchmark):
@@ -102,9 +103,10 @@ def test_fig1_des_validates_model(report, benchmark):
     for _pct, _capacity, below, above in rows:
         assert below < 0.02   # sustainable under the predicted maximum
         assert above > 0.10   # lossy above it
+    columns = {"pct": [row[0] for row in rows],
+               "capacity_pps": [row[1] for row in rows],
+               "loss_at_0.8x": [row[2] for row in rows],
+               "loss_at_2.0x": [row[3] for row in rows]}
     report("fig1_des_validation", series_table(
         "Fig. 1 cross-check — loss fraction around the model's capacity",
-        {"pct": [row[0] for row in rows],
-         "capacity_pps": [row[1] for row in rows],
-         "loss_at_0.8x": [row[2] for row in rows],
-         "loss_at_2.0x": [row[3] for row in rows]}))
+        columns), metrics=columns)

@@ -74,13 +74,15 @@ def test_fig5_utilization_vs_flow_count(report, benchmark):
     assert (ilp_last.max_core_utilization
             < greedy_last.max_core_utilization)
 
+    columns = {
+        "flows": [row[0] for row in rows],
+        "Greedy-Link": [row[1].max_link_utilization for row in rows],
+        "Greedy-Core": [row[1].max_core_utilization for row in rows],
+        "ILP-Link": [row[2].max_link_utilization for row in rows],
+        "ILP-Core": [row[2].max_core_utilization for row in rows]}
     report("fig5_left_utilization", series_table(
-        "Fig. 5 (left) — max utilization vs number of flows",
-        {"flows": [row[0] for row in rows],
-         "Greedy-Link": [row[1].max_link_utilization for row in rows],
-         "Greedy-Core": [row[1].max_core_utilization for row in rows],
-         "ILP-Link": [row[2].max_link_utilization for row in rows],
-         "ILP-Core": [row[2].max_core_utilization for row in rows]}))
+        "Fig. 5 (left) — max utilization vs number of flows", columns),
+        metrics=columns)
 
 
 def test_fig5_flows_accommodated(report, benchmark):
@@ -97,12 +99,13 @@ def test_fig5_flows_accommodated(report, benchmark):
     greedy, division = benchmark.pedantic(run, iterations=1, rounds=1)
     # Paper: optimal accommodates ~3x greedy; division ~85% of optimal.
     assert division.placed_count > greedy.placed_count
+    columns = {"solver": ["greedy", "division"],
+               "placed": [greedy.placed_count, division.placed_count],
+               "max_util": [greedy.max_utilization,
+                            division.max_utilization]}
     report("fig5_flows_accommodated", series_table(
         "Fig. 5 — flows accommodated (36 offered, J1–J5 chains)",
-        {"solver": ["greedy", "division"],
-         "placed": [greedy.placed_count, division.placed_count],
-         "max_util": [greedy.max_utilization,
-                      division.max_utilization]}))
+        columns), metrics=columns)
 
 
 def test_fig5_right_capacity_scaling(report, benchmark):
@@ -127,11 +130,12 @@ def test_fig5_right_capacity_scaling(report, benchmark):
     # More capacity -> at least as many flows for each solver.
     assert rows[1][1] >= rows[0][1]
     assert rows[1][2] >= rows[0][2]
+    columns = {"capacity_x": [row[0] for row in rows],
+               "greedy_placed": [row[1] for row in rows],
+               "division_placed": [row[2] for row in rows]}
     report("fig5_right_scaling", series_table(
-        "Fig. 5 (right) — flows placed vs capacity multiplier",
-        {"capacity_x": [row[0] for row in rows],
-         "greedy_placed": [row[1] for row in rows],
-         "division_placed": [row[2] for row in rows]}))
+        "Fig. 5 (right) — flows placed vs capacity multiplier", columns),
+        metrics=columns)
 
 
 def test_fig5_division_within_85pct_of_optimal(report, benchmark):
@@ -154,8 +158,10 @@ def test_fig5_division_within_85pct_of_optimal(report, benchmark):
         run, iterations=1, rounds=1)
     if optimal_count is not None:
         assert division_count >= 0.8 * optimal_count
+    columns = {
+        "solver": ["optimal", "division"],
+        "placed": [optimal_count if optimal_count is not None else -1,
+                   division_count]}
     report("fig5_division_vs_optimal", series_table(
         "Fig. 5 — division heuristic vs optimal (10 flows offered)",
-        {"solver": ["optimal", "division"],
-         "placed": [optimal_count if optimal_count is not None else -1,
-                    division_count]}))
+        columns), metrics=columns)

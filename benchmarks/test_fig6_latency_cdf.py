@@ -70,4 +70,4 @@ def test_fig6_latency_cdf(report, benchmark):
             recorders[config].percentile_us(p) for p in percentiles]
     report("fig6_latency_cdf", series_table(
         "Fig. 6 — RTT percentiles (us), 30 us/packet compute NFs",
-        columns))
+        columns), metrics=columns)

@@ -84,4 +84,4 @@ def test_fig7_throughput_vs_packet_size(report, benchmark):
         columns[config.replace(" ", "_")] = results[config]
     report("fig7_throughput", series_table(
         "Fig. 7 — achieved throughput (Gbps) vs packet size, one socket",
-        columns))
+        columns), metrics=columns)

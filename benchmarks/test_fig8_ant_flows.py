@@ -101,9 +101,9 @@ def test_fig8_ant_flow_rerouting(report, benchmark):
     # The detector reclassified at each phase change.
     assert detector.reclassifications >= 3
 
+    columns = {"phase": list(timeline),
+               "flow1_us": [timeline[k]["flow1_us"] for k in timeline],
+               "flow2_us": [timeline[k]["flow2_us"] for k in timeline]}
     report("fig8_ant_flows", series_table(
         "Fig. 8 — mean RTT per phase (us); ant phase = 5s–10.5s "
-        "(timeline scaled 1:10)",
-        {"phase": list(timeline),
-         "flow1_us": [timeline[k]["flow1_us"] for k in timeline],
-         "flow2_us": [timeline[k]["flow2_us"] for k in timeline]}))
+        "(timeline scaled 1:10)", columns), metrics=columns)

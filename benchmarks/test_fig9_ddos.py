@@ -120,7 +120,10 @@ def test_fig9_ddos_detection_and_scrubbing(report, benchmark):
                                                      (start + 10) * S))
         out_series.append(workload.out_meter.mean_gbps(start * S,
                                                        (start + 10) * S))
+    columns = {"t_s": times, "incoming": in_series,
+               "outgoing": out_series}
     report("fig9_ddos", series_table(
         f"Fig. 9 — in/out rate (Gbps, rates scaled 1:{RATE_SCALE:.0f}); "
         f"alarm at {alarm_s:.1f}s, scrubber ready at {ready_s:.1f}s",
-        {"t_s": times, "incoming": in_series, "outgoing": out_series}))
+        columns),
+        metrics={**columns, "alarm_s": alarm_s, "scrubber_ready_s": ready_s})

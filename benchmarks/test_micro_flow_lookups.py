@@ -44,7 +44,10 @@ def test_micro_costs_and_sdn_lookup(report, benchmark):
         "§5.1 micro-measurements",
         [("flow table lookup", "30 ns", f"{costs.flow_lookup_ns} ns"),
          ("min-queue scan", "15 ns", f"{costs.queue_scan_ns} ns"),
-         ("SDN lookup (round trip)", "31 ms", f"{sdn_ms:.2f} ms")]))
+         ("SDN lookup (round trip)", "31 ms", f"{sdn_ms:.2f} ms")]),
+        metrics={"flow_lookup_ns": costs.flow_lookup_ns,
+                 "queue_scan_ns": costs.queue_scan_ns,
+                 "sdn_lookup_ms": sdn_ms})
 
 
 def test_sdn_lookup_off_critical_path(report, benchmark):
@@ -96,7 +99,9 @@ def test_sdn_lookup_off_critical_path(report, benchmark):
         "SDN lookup deferral (established-flow latency during a miss)",
         [("worst established RTT",
           "unaffected (<< 31 ms)",
-          f"{max(established_latencies) / 1000:.2f} us")]))
+          f"{max(established_latencies) / 1000:.2f} us")]),
+        metrics={"worst_established_rtt_us":
+                 max(established_latencies) / 1000})
 
 
 def test_flow_table_lookup_wall_clock(benchmark):

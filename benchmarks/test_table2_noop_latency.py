@@ -83,4 +83,9 @@ def test_table2_noop_latency(report, benchmark):
 
     report("table2_noop_latency", comparison_table(
         "Table 2 — avg RTT, no-op NFs (measured shows min/max)",
-        rows, headers=("configuration", "paper avg", "measured avg")))
+        rows, headers=("configuration", "paper avg", "measured avg")),
+        metrics={"configurations": list(results),
+                 "paper_avg_us": list(PAPER_AVG_US.values()),
+                 "measured_avg_us": [results[c]["avg"] for c in results],
+                 "measured_min_us": [results[c]["min"] for c in results],
+                 "measured_max_us": [results[c]["max"] for c in results]})

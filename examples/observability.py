@@ -11,7 +11,7 @@ Shows the three observability surfaces around a running deployment:
 """
 
 from repro.control import NfvOrchestrator, SdnController
-from repro.core import EXIT, HierarchySnapshot, SdnfvApp, ServiceGraph
+from repro.core import EXIT, SdnfvApp, ServiceGraph
 from repro.dataplane import NfvHost
 from repro.dataplane.tap import PacketTap
 from repro.metrics import EventLog

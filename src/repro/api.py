@@ -36,6 +36,7 @@ from repro.net import FiveTuple, FlowMatch, Packet
 
 # Data plane (one SDNFV host)
 from repro.dataplane import (
+    DEFAULT_BURST_SIZE,
     ControlPlanePolicy,
     Drop,
     FlowTable,
@@ -113,6 +114,7 @@ __all__ = [
     "Packet",
     # data plane
     "ControlPlanePolicy",
+    "DEFAULT_BURST_SIZE",
     "Drop",
     "FlowTable",
     "FlowTableEntry",

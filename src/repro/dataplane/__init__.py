@@ -20,7 +20,11 @@ from repro.dataplane.descriptors import PacketDescriptor
 from repro.dataplane.flow_table import FlowTable, FlowTableEntry
 from repro.dataplane.host import NfvHost
 from repro.dataplane.load_balancer import LoadBalancePolicy
-from repro.dataplane.manager import ControlPlanePolicy, NfManager
+from repro.dataplane.manager import (
+    DEFAULT_BURST_SIZE,
+    ControlPlanePolicy,
+    NfManager,
+)
 from repro.dataplane.messages import (
     ChangeDefault,
     NfMessage,
@@ -35,6 +39,7 @@ from repro.dataplane.vm import NfVm
 __all__ = [
     "ChangeDefault",
     "ControlPlanePolicy",
+    "DEFAULT_BURST_SIZE",
     "Drop",
     "FlowTable",
     "FlowTableEntry",

@@ -44,6 +44,18 @@ class HostCosts:
     tx_service_ns: int = 40 * NS      # action resolution + enqueue out
     vm_service_ns: int = 120 * NS     # VM-side per-packet handling (no-op NF)
 
+    # Per-batch poll charges (occupy the thread once per burst, however
+    # many packets the poll returns).  The burst pipeline splits thread
+    # work into this fixed per-poll part plus the per-packet service
+    # costs above; with the calibrated defaults of zero, total occupancy
+    # is identical at every burst size, so Table 2 / Fig. 7 fidelity is
+    # preserved while the simulator does ~burst-fold less event work.
+    # Raise these to study amortization: a burst of n packets then pays
+    # poll_ns / n per packet instead of poll_ns each.
+    rx_batch_poll_ns: int = 0         # one RX poll of the NIC ring
+    tx_batch_poll_ns: int = 0         # one TX drain of a VM's done ring
+    vm_batch_poll_ns: int = 0         # one VM poll of its RX ring
+
     # Parallel processing: per extra member, the descriptor copy into one
     # more ring (RX side) and one more verdict merge (TX side) are cheap
     # thread work; the dominant cost is cache contention on the shared

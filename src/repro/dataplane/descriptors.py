@@ -20,13 +20,17 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.dataplane.flow_table import FlowTableEntry
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class PacketDescriptor:
     """One reference to a shared packet buffer, owned by one ring at a time.
 
     ``scope`` names where the packet currently is in the service graph: a
     NIC port name on ingress, a Service ID after an NF handled it.
     ``group_id`` links the copies fanned out to parallel VMs.
+
+    Descriptors are what the burst pipeline moves in bulk — whole bursts
+    of them sit in rings and in VM-held batches at once, so the class is
+    slotted to keep a 64-packet burst's descriptor footprint small.
     """
 
     packet: Packet

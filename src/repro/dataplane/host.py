@@ -14,7 +14,12 @@ from repro.dataplane.actions import Destination
 from repro.dataplane.costs import HostCosts
 from repro.dataplane.flow_table import FlowTableEntry
 from repro.dataplane.load_balancer import LoadBalancePolicy
-from repro.dataplane.manager import ControlPlanePolicy, NfManager, NicPort
+from repro.dataplane.manager import (
+    DEFAULT_BURST_SIZE,
+    ControlPlanePolicy,
+    NfManager,
+    NicPort,
+)
 from repro.dataplane.vm import NfVm
 from repro.nfs.base import NetworkFunction
 from repro.sim.randomness import RandomStreams
@@ -36,6 +41,7 @@ class NfvHost:
                  conflict_policy: str = "action_priority",
                  control_policy: ControlPlanePolicy | None = None,
                  miss_fallback: Destination | None = None,
+                 burst_size: int = DEFAULT_BURST_SIZE,
                  seed: int = 0) -> None:
         self.sim = sim
         self.name = name
@@ -44,6 +50,7 @@ class NfvHost:
             tx_threads=tx_threads, load_balance=load_balance,
             lookup_cache=lookup_cache, conflict_policy=conflict_policy,
             control_policy=control_policy, miss_fallback=miss_fallback,
+            burst_size=burst_size,
             streams=RandomStreams(seed=seed))
         for port_name in ports:
             self.manager.add_port(port_name, line_rate_gbps=line_rate_gbps)

@@ -54,6 +54,38 @@ class RingBuffer:
         self.dropped += 1
         return False
 
+    def enqueue_burst(self, items: typing.Sequence[typing.Any]) -> int:
+        """Producer side: enqueue a burst, dropping the tail when full.
+
+        DPDK ``rte_ring_enqueue_burst`` semantics: items are accepted in
+        order until the ring fills; the number accepted is returned and
+        every rejected item counts as one drop (per-slot accounting is
+        identical to ``len(items)`` calls to :meth:`try_enqueue`).
+        """
+        accepted = 0
+        for item in items:
+            if not self._store.try_put(item):
+                break
+            self.enqueued += 1
+            accepted += 1
+        self.dropped += len(items) - accepted
+        return accepted
+
+    def dequeue_burst(self, max_n: int) -> list[typing.Any]:
+        """Consumer side: remove and return up to ``max_n`` queued items.
+
+        Non-blocking; returns fewer than ``max_n`` (possibly zero) items
+        when the ring runs empty.  The batch-poll analogue of
+        ``rte_ring_dequeue_burst``.
+        """
+        items: list[typing.Any] = []
+        while len(items) < max_n:
+            item = self._store.try_get()
+            if item is None:
+                break
+            items.append(item)
+        return items
+
     def get(self) -> Event:
         """Consumer side: event yielding the next descriptor."""
         return self._store.get()

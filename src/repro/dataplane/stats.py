@@ -32,9 +32,25 @@ class HostStats:
     requeued_packets: int = 0
     degraded_packets: int = 0
     lost_in_nf: int = 0
+    # NIC-tier drops, mirrored from the ports so host reports see them
+    # (frames rejected before the RX thread ever touched them are
+    # otherwise invisible in manager-level accounting).
+    nic_rx_dropped: int = 0
+    nic_link_dropped: int = 0
+    # Burst pipeline: polls per stage and the batch-occupancy histogram
+    # (batch size -> number of polls that returned that many packets).
+    rx_batches: int = 0
+    tx_batches: int = 0
+    vm_batches: int = 0
     per_service_packets: collections.Counter = dataclasses.field(
         default_factory=collections.Counter)
     per_port_tx_bytes: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter)
+    rx_batch_occupancy: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter)
+    tx_batch_occupancy: collections.Counter = dataclasses.field(
+        default_factory=collections.Counter)
+    vm_batch_occupancy: collections.Counter = dataclasses.field(
         default_factory=collections.Counter)
 
     def record_rx(self, size: int) -> None:
@@ -48,6 +64,34 @@ class HostStats:
 
     def record_service(self, service_id: str) -> None:
         self.per_service_packets[service_id] += 1
+
+    def record_rx_batch(self, size: int) -> None:
+        self.rx_batches += 1
+        self.rx_batch_occupancy[size] += 1
+
+    def record_tx_batch(self, size: int) -> None:
+        self.tx_batches += 1
+        self.tx_batch_occupancy[size] += 1
+
+    def record_vm_batch(self, size: int) -> None:
+        self.vm_batches += 1
+        self.vm_batch_occupancy[size] += 1
+
+    def batch_summary(self) -> dict[str, float]:
+        """Mean batch occupancy per pipeline stage (1.0 = no batching)."""
+
+        def mean(histogram: collections.Counter) -> float:
+            polls = sum(histogram.values())
+            if not polls:
+                return 0.0
+            return sum(size * count
+                       for size, count in histogram.items()) / polls
+
+        return {
+            "rx_mean_batch": mean(self.rx_batch_occupancy),
+            "tx_mean_batch": mean(self.tx_batch_occupancy),
+            "vm_mean_batch": mean(self.vm_batch_occupancy),
+        }
 
     def summary(self) -> dict[str, int]:
         """Scalar counters as a plain dict (for reports and tests)."""
@@ -69,4 +113,9 @@ class HostStats:
             "requeued_packets": self.requeued_packets,
             "degraded_packets": self.degraded_packets,
             "lost_in_nf": self.lost_in_nf,
+            "nic_rx_dropped": self.nic_rx_dropped,
+            "nic_link_dropped": self.nic_link_dropped,
+            "rx_batches": self.rx_batches,
+            "tx_batches": self.tx_batches,
+            "vm_batches": self.vm_batches,
         }

@@ -50,8 +50,14 @@ class NfVm:
         self.busy_ns = 0
         # Heartbeat state: when the thread last moved a descriptor, and the
         # descriptor it currently holds (None while idle on the ring).
+        # With bursts, ``inflight`` is the head of the batch the thread is
+        # working through; the not-yet-processed tail sits in ``_pending``
+        # (salvageable on failure) and ``_busy_until_ns`` tells the
+        # watchdog how long the current batch legitimately runs.
         self.last_progress_ns = 0
         self.inflight: PacketDescriptor | None = None
+        self._pending: list[PacketDescriptor] = []
+        self._busy_until_ns = 0
         self.failed = False
         self.failure_cause: str | None = None
         self._hung = False
@@ -82,11 +88,26 @@ class NfVm:
         """Wedged: holding a descriptor but no progress for too long.
 
         An idle VM (nothing in flight) is never considered stalled — it is
-        legitimately blocked on its empty RX ring.
+        legitimately blocked on its empty RX ring.  A VM inside a long
+        batch is not stalled either: its heartbeat reference advances to
+        the batch's expected completion time, so a 32-packet burst of a
+        slow NF does not trip the watchdog mid-batch.
         """
-        return (not self.failed
-                and self.inflight is not None
-                and now_ns - self.last_progress_ns >= heartbeat_timeout_ns)
+        if self.failed or self.inflight is None:
+            return False
+        reference = max(self.last_progress_ns,
+                        min(self._busy_until_ns, now_ns))
+        return now_ns - reference >= heartbeat_timeout_ns
+
+    def take_pending_batch(self) -> list[PacketDescriptor]:
+        """Remove and return the dequeued-but-unprocessed batch tail.
+
+        Failover salvage (``NfManager.fail_vm``): descriptors the thread
+        had burst-dequeued but not started are recoverable intact — only
+        the in-flight head dies with the VM.
+        """
+        pending, self._pending = self._pending, []
+        return pending
 
     def start(self) -> None:
         """Begin the VM's packet loop (called at registration)."""
@@ -121,39 +142,69 @@ class NfVm:
     # Packet loop
     # ------------------------------------------------------------------
     def _run(self):
+        """The VM's packet loop: burst-dequeue, process, hand off.
+
+        The thread blocks for the head descriptor, sweeps the rest of the
+        burst from its ring, then serves the whole batch under a single
+        occupancy charge.  ``inflight`` holds the batch head (the packet
+        that dies on a crash); the tail stays in ``_pending`` until the
+        batch completes, so mid-batch failures salvage it intact.  At
+        ``burst_size=1`` this is event-for-event the single-packet loop.
+        """
         costs: HostCosts = self.manager.costs
         try:
             while True:
                 descriptor: PacketDescriptor = yield self.rx_ring.get()
-                self.inflight = descriptor
+                batch = [descriptor]
+                if self.manager.burst_size > 1:
+                    batch.extend(
+                        self.rx_ring.dequeue_burst(
+                            self.manager.burst_size - 1))
+                self.manager.stats.record_vm_batch(len(batch))
+                self.inflight = batch[0]
+                self._pending = batch[1:]
                 self.last_progress_ns = self.sim.now
                 if self._hung:
                     # Wedged mid-packet: block on an event that never
                     # fires.  Only an interrupt (watchdog kill) resumes us.
                     yield self.sim.event()
-                work = (costs.vm_service_ns
-                        + self.nf.processing_cost_ns(descriptor.packet,
-                                                     self.ctx))
+                jobs = [(item,
+                         costs.vm_service_ns
+                         + self.nf.processing_cost_ns(item.packet, self.ctx))
+                        for item in batch]
+                work = costs.vm_batch_poll_ns + sum(cost
+                                                    for _, cost in jobs)
+                self._busy_until_ns = self.sim.now + work
                 yield self.sim.timeout(work)
                 self.busy_ns += work
-                self.packets_processed += 1
-                descriptor.verdict = self.nf.handle_packet(descriptor.packet,
-                                                           self.ctx)
-                descriptor.scope = self.service_id
-                descriptor.vm_priority = self.priority
+                # Batch complete: emit verdicts and group the handoff by
+                # delivery delay (one timer per distinct delay, not one
+                # per packet).
+                handoff: dict[int, list[PacketDescriptor]] = {}
+                for item, _cost in jobs:
+                    self.packets_processed += 1
+                    item.verdict = self.nf.handle_packet(item.packet,
+                                                         self.ctx)
+                    item.scope = self.service_id
+                    item.vm_priority = self.priority
+                    # Ring hops + poll-batching pickup are latency, not
+                    # occupancy: hand the descriptor to the TX tier after
+                    # a non-blocking delay.  Parallel-group members are
+                    # staggered by their index, modeling cache contention
+                    # on the shared packet buffer.
+                    delay = costs.vm_pipeline_latency_ns
+                    if item.group_id is not None:
+                        delay += (costs.parallel_stagger_ns
+                                  * item.group_index)
+                    handoff.setdefault(delay, []).append(item)
+                self._pending = []
                 self.inflight = None
                 self.last_progress_ns = self.sim.now
-                # Ring hops + poll-batching pickup are latency, not
-                # occupancy: hand the descriptor to the TX tier after a
-                # non-blocking delay.  Parallel-group members are staggered
-                # by their index, modeling cache contention on the shared
-                # packet buffer.
-                delay = costs.vm_pipeline_latency_ns
-                if descriptor.group_id is not None:
-                    delay += costs.parallel_stagger_ns * descriptor.group_index
-                self.sim.schedule(
-                    delay,
-                    lambda desc=descriptor: self.manager.tx_submit(desc, self))
+                for delay, done in handoff.items():
+                    self.sim.schedule(
+                        delay,
+                        lambda descs=done: self.manager.tx_submit_burst(
+                            descs, self))
         except Interrupt as interrupt:
             self._on_killed(str(interrupt.cause or "crash"))
 

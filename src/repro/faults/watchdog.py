@@ -5,14 +5,17 @@ or overload" locally, without waiting for the global tier.  The watchdog
 is that responder: it periodically samples each VM's heartbeat — the
 progress counters the VM publishes on its shared ring state
 (``last_progress_ns``, the same head/tail movement a real manager
-observes on its lock-free rings) — and when a VM is dead (crashed) or
-wedged (holding a descriptor with a stale heartbeat), it:
+observes on its lock-free rings; under bursts the heartbeat reference
+also covers the batch the thread legitimately holds, see
+:meth:`NfVm.stalled`) — and when a VM is dead (crashed) or wedged
+(holding a descriptor with a stale heartbeat), it:
 
 1. kills the wedged thread (``Process.interrupt`` through
    :meth:`NfVm.crash`),
-2. salvages the VM's RX ring via :meth:`NfManager.fail_vm` — descriptors
-   are re-dispatched to surviving replicas or along the service's default
-   edge (graceful degradation),
+2. salvages the VM's RX ring — and the burst-dequeued batch the thread
+   was still holding (everything but the in-flight head) — via
+   :meth:`NfManager.fail_vm`; descriptors are re-dispatched to surviving
+   replicas or along the service's default edge (graceful degradation),
 3. quarantines the service when no replica is left — flow rules whose
    default leads to it are rewritten to its own default edge, not leaked —
 4. and notifies an ``on_failure`` callback, through which the SDNFV

@@ -2,7 +2,11 @@
 
 from repro.metrics.eventlog import ControlEvent, EventLog
 from repro.metrics.latency import LatencyRecorder
-from repro.metrics.reporting import comparison_table, series_table
+from repro.metrics.reporting import (
+    comparison_table,
+    counters_table,
+    series_table,
+)
 from repro.metrics.throughput import ThroughputMeter
 from repro.metrics.timeseries import TimeSeries
 
@@ -13,5 +17,6 @@ __all__ = [
     "ThroughputMeter",
     "TimeSeries",
     "comparison_table",
+    "counters_table",
     "series_table",
 ]

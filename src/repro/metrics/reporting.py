@@ -25,6 +25,33 @@ def comparison_table(title: str,
     return "\n".join(lines)
 
 
+def counters_table(title: str,
+                   counters: dict[str, typing.Union[int, float]],
+                   float_format: str = "{:.3f}") -> str:
+    """Two-column name/value table for counter dumps.
+
+    Renders e.g. the NIC drop counters (``nic_rx_dropped``,
+    ``nic_link_dropped``) and batch-occupancy summaries from
+    :meth:`HostStats.summary` / :meth:`HostStats.batch_summary`.
+    """
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rows = [(name, render(value)) for name, value in counters.items()]
+    name_width = max((len(name) for name, _ in rows), default=len("counter"))
+    name_width = max(name_width, len("counter"))
+    value_width = max((len(value) for _, value in rows), default=len("value"))
+    value_width = max(value_width, len("value"))
+    lines = [f"== {title} ==",
+             f"{'counter'.ljust(name_width)}  {'value'.ljust(value_width)}",
+             f"{'-' * name_width}  {'-' * value_width}"]
+    lines.extend(f"{name.ljust(name_width)}  {value.rjust(value_width)}"
+                 for name, value in rows)
+    return "\n".join(lines)
+
+
 def series_table(title: str, columns: dict[str, typing.Sequence],
                  float_format: str = "{:.3f}") -> str:
     """Multi-column numeric series (one row per index position)."""

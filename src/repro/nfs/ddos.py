@@ -16,7 +16,7 @@ from repro.net.flow import FlowMatch
 from repro.net.headers import ip_to_int, ip_to_str
 from repro.net.packet import Packet, wire_bits
 from repro.nfs.base import NetworkFunction, NfContext
-from repro.sim.units import MS, S
+from repro.sim.units import MS
 
 DDOS_ALARM_KEY = "ddos_alarm"
 

@@ -53,6 +53,16 @@ class Simulator:
         """The process currently being stepped, if any."""
         return self._active_process
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever enqueued — the kernel-work odometer.
+
+        Batching ablations divide this by packets moved to get "kernel
+        events per packet", the simulator-side analogue of per-packet
+        event-dispatch overhead in the real NF Manager.
+        """
+        return self._sequence
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

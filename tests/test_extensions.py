@@ -20,7 +20,7 @@ from repro.net import FiveTuple, FlowMatch, Packet
 from repro.net.headers import PROTO_TCP, PROTO_UDP
 from repro.nfs import NatError, NoOpNf, SourceNat
 from repro.nfs.base import NfContext
-from repro.sim import MS, S, Simulator, US
+from repro.sim import MS, Simulator, US
 from repro.workloads import (
     FlowSpec,
     PktGen,

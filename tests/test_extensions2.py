@@ -7,7 +7,7 @@ from repro.control import SdnController
 from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
 from repro.net import FlowMatch, Packet
 from repro.nfs import NoOpNf
-from repro.sim import MS, S, US
+from repro.sim import MS, US
 from repro.sim.randomness import RandomStreams, exponential_ns
 from repro.workloads import FlowSpec, ImixProfile, ImixSource, PktGen
 

@@ -17,7 +17,7 @@ from repro.dataplane.load_balancer import LoadBalancePolicy
 from repro.net import FiveTuple, FlowMatch, Packet
 from repro.net.headers import PROTO_TCP
 from repro.nfs import FLOW_STATS_KEY, FlowMonitor, NoOpNf
-from repro.sim import MS, S, Simulator
+from repro.sim import MS, Simulator
 from repro.topology import (
     Link,
     NodeSpec,

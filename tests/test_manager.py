@@ -265,7 +265,12 @@ class TestLoadBalancing:
         assert counts == [0, 0, 9]
 
     def test_least_queue_avoids_busy_replica(self, sim):
-        """Multiple flows spread when one replica is slow."""
+        """Sustained multi-flow load spreads away from a slow replica.
+
+        Arrivals are paced (not a single same-instant flood, which a
+        burst-mode dispatcher splits evenly before either replica can
+        drain) so the slow replica's queue visibly builds up.
+        """
         host = NfvHost(sim, name="lb1",
                        load_balance=LoadBalancePolicy.LEAST_QUEUE)
         slow = host.add_nf(ComputeNf("svc", cost_ns=50_000))
@@ -273,10 +278,16 @@ class TestLoadBalancing:
         install_chain(host, ["svc"])
         out = []
         host.port("eth1").on_egress = out.append
-        for i in range(40):
-            flow = FiveTuple("10.0.0.1", "10.0.0.2", PROTO_TCP,
-                             1000 + i, 80)
-            host.inject("eth0", Packet(flow=flow, size=128))
+
+        def offered():
+            for i in range(40):
+                flow = FiveTuple("10.0.0.1", "10.0.0.2", PROTO_TCP,
+                                 1000 + i, 80)
+                host.inject("eth0", Packet(flow=flow, size=128,
+                                           created_at=sim.now))
+                yield sim.timeout(10_000)
+
+        sim.process(offered())
         sim.run(until=5 * S)
         assert fast.packets_processed > slow.packets_processed
 
@@ -303,7 +314,10 @@ class TestLookupCache:
         cached_lookups = cached.flow_table.lookups
 
         sim2 = Simulator()
-        uncached = NfvHost(sim2, name="c2", lookup_cache=False)
+        # burst_size=1: the strict per-packet pipeline, where disabling
+        # the descriptor cache really does cost one lookup per hop.
+        uncached = NfvHost(sim2, name="c2", lookup_cache=False,
+                           burst_size=1)
         uncached.add_nf(NoOpNf("a"))
         uncached.add_nf(NoOpNf("b"))
         install_chain(uncached, ["a", "b"])
@@ -316,6 +330,19 @@ class TestLookupCache:
         # Cached: one lookup per (flow, scope); uncached: one per hop.
         assert cached_lookups <= 3
         assert uncached.flow_table.lookups == 60
+
+        sim3 = Simulator()
+        # With bursts, the per-(flow, burst) plan collapses repeated
+        # lookups even without the descriptor cache.
+        bursty = NfvHost(sim3, name="c4", lookup_cache=False,
+                         burst_size=32)
+        bursty.add_nf(NoOpNf("a"))
+        bursty.add_nf(NoOpNf("b"))
+        install_chain(bursty, ["a", "b"])
+        for _ in range(20):
+            bursty.inject("eth0", Packet(flow=flow, size=128))
+        sim3.run(until=50 * MS)
+        assert bursty.flow_table.lookups < 60
 
     def test_table_mutation_invalidates_cache(self, sim, flow, udp_flow):
         host = NfvHost(sim, name="c3", lookup_cache=True)

@@ -7,6 +7,7 @@ from repro.metrics import (
     ThroughputMeter,
     TimeSeries,
     comparison_table,
+    counters_table,
     series_table,
 )
 from repro.net.packet import wire_bits
@@ -151,3 +152,18 @@ class TestReporting:
     def test_series_table_length_mismatch(self):
         with pytest.raises(ValueError):
             series_table("bad", {"a": [1], "b": [1, 2]})
+
+    def test_counters_table_renders_ints_and_floats(self):
+        text = counters_table("NIC drops", {
+            "nic_rx_dropped": 12,
+            "nic_link_dropped": 0,
+            "vm_mean_batch": 31.90044,
+        })
+        assert "NIC drops" in text
+        assert "nic_rx_dropped" in text and "12" in text
+        assert "31.900" in text
+        assert text.count("\n") == 5
+
+    def test_counters_table_empty(self):
+        text = counters_table("empty", {})
+        assert "empty" in text

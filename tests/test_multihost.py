@@ -12,7 +12,7 @@ from repro.core.placement import (
 from repro.dataplane import NfvHost
 from repro.net import FiveTuple, FlowMatch, Packet
 from repro.nfs import CounterNf, NoOpNf
-from repro.sim import MS, S
+from repro.sim import MS
 from repro.topology import Fabric
 from repro.topology import Link, NodeSpec, Topology
 

@@ -8,7 +8,7 @@ import pytest
 
 import numpy as np
 
-from repro.dataplane.actions import NfVerdict, ToPort, ToService, Verdict
+from repro.dataplane.actions import NfVerdict, ToPort, ToService
 from repro.dataplane.messages import ChangeDefault, RequestMe, UserMessage
 from repro.net import FiveTuple, FlowMatch, HttpRequest, HttpResponse, Packet
 from repro.net.headers import PROTO_TCP, PROTO_UDP
