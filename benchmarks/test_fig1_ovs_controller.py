@@ -47,8 +47,13 @@ def simulate_loss(punt_pct: float, packet_size: int,
     def offer():
         nonlocal offered
         gap = max(1, round(1e9 / offered_pps))
+        pool = switch.packet_pool
         while sim.now < 200 * MS:
-            switch.offer(Packet(flow=flow, size=packet_size))
+            if pool is not None:
+                packet = pool.alloc(flow=flow, size=packet_size)
+            else:
+                packet = Packet(flow=flow, size=packet_size)
+            switch.offer(packet)
             offered += 1
             yield sim.timeout(gap)
 

@@ -20,6 +20,7 @@ import typing
 
 from repro.control.controller import SdnController
 from repro.metrics.throughput import ThroughputMeter
+from repro.net.mempool import DEFAULT_POOL_SIZE, PacketPool
 from repro.net.packet import Packet, wire_bits
 from repro.sim.randomness import RandomStreams
 from repro.sim.simulator import Simulator
@@ -73,6 +74,7 @@ class OvsSwitchSim:
                  fast_path_pps: float = 3.3e6,
                  punt_buffer: int = 1024,
                  window_ns: int = 10 * MS,
+                 pool_size: int = DEFAULT_POOL_SIZE,
                  seed: int = 3) -> None:
         if not 0.0 <= punt_fraction <= 1.0:
             raise ValueError("punt fraction must be in [0, 1]")
@@ -84,14 +86,27 @@ class OvsSwitchSim:
         self.dropped_punts = 0
         self.punts_completed = 0
         self.forwarded = 0
-        self._ingress = Store(sim, capacity=4096)
+        # Baselines share the mempool discipline of the SDNFV data plane:
+        # drivers allocate via ``packet_pool`` and every terminal path
+        # (forwarded or dropped) returns the buffer to the slab.
+        self.packet_pool: PacketPool | None = (
+            PacketPool(pool_size) if pool_size else None)
+        self._ingress = Store(sim, capacity=4096, recycle=True)
         self._punt_queue = Store(sim, capacity=punt_buffer)
         self._rng = RandomStreams(seed=seed).stream("ovs")
         sim.process(self._fast_path())
 
     def offer(self, packet: Packet) -> bool:
-        """Offer a packet to the switch (False = ingress queue overflow)."""
-        return self._ingress.try_put(packet)
+        """Offer a packet to the switch (False = ingress queue overflow).
+
+        Overflowed pooled buffers are reclaimed here, like a NIC dropping
+        a frame whose descriptor never left the mempool.
+        """
+        if self._ingress.try_put(packet):
+            return True
+        if packet.pool is not None:
+            packet.free()
+        return False
 
     def _fast_path(self):
         while True:
@@ -102,6 +117,8 @@ class OvsSwitchSim:
                     self.sim.process(self._punt(packet))
                 else:
                     self.dropped_punts += 1
+                    if packet.pool is not None:
+                        packet.free()
                 continue
             self._emit(packet)
 
@@ -115,6 +132,8 @@ class OvsSwitchSim:
     def _emit(self, packet: Packet) -> None:
         self.forwarded += 1
         self.out_meter.record(self.sim.now, packet.size)
+        if packet.pool is not None:
+            packet.free()
 
     def achieved_gbps(self) -> float:
         return self.out_meter.mean_gbps()

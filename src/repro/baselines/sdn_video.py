@@ -23,6 +23,7 @@ from repro.control.controller import SdnController
 from repro.metrics.throughput import ThroughputMeter
 from repro.net.flow import FiveTuple
 from repro.net.http import classify_content_type, is_video_content
+from repro.net.mempool import DEFAULT_POOL_SIZE, PacketPool
 from repro.net.packet import Packet
 from repro.sim.simulator import Simulator
 from repro.sim.store import Store
@@ -36,7 +37,8 @@ class SdnVideoSystem:
                  fast_path_ns: int = 300 * NS,
                  transcode_keep_ratio: float = 0.5,
                  flow_setup_buffer: int = 8192,
-                 window_ns: int = 500 * MS) -> None:
+                 window_ns: int = 500 * MS,
+                 pool_size: int = DEFAULT_POOL_SIZE) -> None:
         self.sim = sim
         self.controller = controller
         self.fast_path_ns = fast_path_ns
@@ -49,8 +51,13 @@ class SdnVideoSystem:
         # flow -> "out" (send directly) or "transcode" (halve the rate)
         self._rules: dict[FiveTuple, str] = {}
         self._pending: dict[FiveTuple, list[Packet]] = {}
+        # Same mempool discipline as the SDNFV data plane: workloads
+        # allocate buffers from ``packet_pool`` and terminal paths
+        # (forwarded, transcode-dropped, setup overflow) reclaim them.
+        self.packet_pool: PacketPool | None = (
+            PacketPool(pool_size) if pool_size else None)
         self._setup_slots = Store(sim, capacity=flow_setup_buffer)
-        self._ingress = Store(sim)
+        self._ingress = Store(sim, recycle=True)
         self._credit: dict[FiveTuple, float] = {}
         self.on_egress: typing.Callable[[Packet], None] | None = None
         sim.process(self._worker())
@@ -77,7 +84,10 @@ class SdnVideoSystem:
             pending = self._pending.get(packet.flow)
             if pending is None:
                 if not self._setup_slots.try_put(packet.flow):
-                    continue  # setup table overflow: drop the flow
+                    # Setup table overflow: drop the flow.
+                    if packet.pool is not None:
+                        packet.free()
+                    continue
                 self._pending[packet.flow] = [packet]
                 # First packet (TCP ACK) goes to the controller.
                 self.sim.process(self._consult(packet.flow, packet, None))
@@ -116,12 +126,16 @@ class SdnVideoSystem:
             if credit < 1.0:
                 self._credit[packet.flow] = credit
                 self.transcode_dropped += 1
+                if packet.pool is not None:
+                    packet.free()
                 return
             self._credit[packet.flow] = credit - 1.0
         self.forwarded += 1
         self.out_meter.record(self.sim.now, packet.size)
         if self.on_egress is not None:
             self.on_egress(packet)
+        if packet.pool is not None:
+            packet.free()
 
     # ------------------------------------------------------------------
     def completed_per_second(self, elapsed_ns: int) -> float:

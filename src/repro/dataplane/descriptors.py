@@ -66,3 +66,17 @@ class PacketDescriptor:
             group_index=group_index,
             ingress_at=self.ingress_at,
         )
+
+    def reset(self, packet: Packet, scope: str,
+              ingress_at: int) -> "PacketDescriptor":
+        """Rewind a retired descriptor for reuse from a free list."""
+        self.packet = packet
+        self.scope = scope
+        self.verdict = None
+        self.cached_entry = None
+        self.cached_generation = -1
+        self.group_id = None
+        self.group_index = 0
+        self.vm_priority = 0
+        self.ingress_at = ingress_at
+        return self

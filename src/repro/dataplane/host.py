@@ -20,6 +20,7 @@ from repro.dataplane.manager import (
     NfManager,
     NicPort,
 )
+from repro.net.mempool import DEFAULT_POOL_SIZE, PacketPool
 from repro.dataplane.vm import NfVm
 from repro.nfs.base import NetworkFunction
 from repro.sim.randomness import RandomStreams
@@ -42,6 +43,7 @@ class NfvHost:
                  control_policy: ControlPlanePolicy | None = None,
                  miss_fallback: Destination | None = None,
                  burst_size: int = DEFAULT_BURST_SIZE,
+                 pool_size: int = DEFAULT_POOL_SIZE,
                  seed: int = 0) -> None:
         self.sim = sim
         self.name = name
@@ -50,7 +52,7 @@ class NfvHost:
             tx_threads=tx_threads, load_balance=load_balance,
             lookup_cache=lookup_cache, conflict_policy=conflict_policy,
             control_policy=control_policy, miss_fallback=miss_fallback,
-            burst_size=burst_size,
+            burst_size=burst_size, pool_size=pool_size,
             streams=RandomStreams(seed=seed))
         for port_name in ports:
             self.manager.add_port(port_name, line_rate_gbps=line_rate_gbps)
@@ -69,6 +71,11 @@ class NfvHost:
     @property
     def costs(self) -> HostCosts:
         return self.manager.costs
+
+    @property
+    def packet_pool(self) -> PacketPool | None:
+        """The host's packet mempool (None when ``pool_size=0``)."""
+        return self.manager.packet_pool
 
     def port(self, name: str) -> NicPort:
         return self.manager.ports[name]

@@ -18,6 +18,7 @@ One :class:`NfManager` runs on each SDNFV host.  It owns:
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import itertools
 import typing
@@ -46,6 +47,7 @@ from repro.dataplane.rings import RingBuffer
 from repro.dataplane.stats import HostStats
 from repro.dataplane.vm import NfVm
 from repro.net.flow import FiveTuple, FlowMatch
+from repro.net.mempool import DEFAULT_POOL_SIZE, PacketPool
 from repro.net.packet import Packet, transmission_ns
 from repro.nfs.base import NetworkFunction
 from repro.sim.events import Event
@@ -62,6 +64,9 @@ _PLAN_CACHE_LIMIT = 65536
 # DPDK's burst model (§4.1): RX/TX threads and NFs move packets in
 # batches of up to 32 descriptors per poll.
 DEFAULT_BURST_SIZE = 32
+
+# Bound on the descriptor free list (wrappers, not packets).
+_DESC_POOL_LIMIT = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,15 +122,23 @@ class NicPort:
         self.stats = stats
         self.link_up = True
         self._link_restored: Event | None = None
-        self.ingress = Store(sim, capacity=rx_frames)
+        # The RX ring recycles its poll events through the kernel free
+        # list (its only consumer is the internal RX loop); the egress
+        # store is a public sink, so it allocates.
+        self.ingress = Store(sim, capacity=rx_frames, recycle=True)
         self.egress = Store(sim)
-        self._tx_fifo = Store(sim)
         self.tx_packets = 0
         self.tx_bytes = 0
         # Optional sink: when set, transmitted packets are delivered to the
         # callback instead of accumulating in the egress store.
         self.on_egress: typing.Callable[[Packet], None] | None = None
-        sim.process(self._drain())
+        # Wire serialization is a bare timer state machine, not a
+        # generator process: transmit() arms it, each frame costs exactly
+        # one timer per stage, and the steady-state TX path never touches
+        # Event or generator machinery.
+        self._tx_backlog: collections.deque[Packet] = collections.deque()
+        self._tx_busy = False
+        self._tx_ns_cache: dict[int, int] = {}
 
     def set_link(self, up: bool) -> None:
         """Flip link state (LinkFlap faults).  While down, arriving frames
@@ -140,24 +153,43 @@ class NicPort:
         else:
             self._link_restored = Event(self.sim)
 
-    def _drain(self):
-        """Serialize frames onto the wire at the line rate."""
-        while True:
-            packet: Packet = yield self._tx_fifo.get()
-            while not self.link_up:
-                yield self._link_restored
-            yield self.sim.timeout(
-                transmission_ns(packet.size, self.line_rate_gbps))
-            self.tx_packets += 1
-            self.tx_bytes += packet.size
-            if self.on_egress is not None:
-                self.on_egress(packet)
-            else:
-                yield self.egress.put(packet)
-
     def transmit(self, packet: Packet) -> None:
         """Queue a frame for transmission (called by TX threads)."""
-        self._tx_fifo.try_put(packet)
+        if self._tx_busy:
+            self._tx_backlog.append(packet)
+        else:
+            self._tx_busy = True
+            self.sim.call_later(0, self._tx_start, packet)
+
+    def _tx_start(self, packet: Packet) -> None:
+        """Begin serializing one frame onto the wire at the line rate."""
+        if not self.link_up:
+            self._link_restored.callbacks.append(
+                lambda _event, packet=packet: self._tx_start(packet))
+            return
+        tx_ns = self._tx_ns_cache.get(packet.size)
+        if tx_ns is None:
+            tx_ns = transmission_ns(packet.size, self.line_rate_gbps)
+            self._tx_ns_cache[packet.size] = tx_ns
+        self.sim.call_later(tx_ns, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        if self.on_egress is not None:
+            self.on_egress(packet)
+            self._tx_next()
+        else:
+            self.egress.put(packet).callbacks.append(self._tx_after_put)
+
+    def _tx_after_put(self, _event: Event) -> None:
+        self._tx_next()
+
+    def _tx_next(self) -> None:
+        if self._tx_backlog:
+            self.sim.call_later(0, self._tx_start, self._tx_backlog.popleft())
+        else:
+            self._tx_busy = False
 
     def receive(self, packet: Packet) -> bool:
         """Deliver an arriving frame into the RX queue (drop when full or
@@ -166,12 +198,16 @@ class NicPort:
             self.link_dropped += 1
             if self.stats is not None:
                 self.stats.nic_link_dropped += 1
+            if packet._pool is not None:
+                packet.free()
             return False
         if self.ingress.try_put(packet):
             return True
         self.rx_dropped += 1
         if self.stats is not None:
             self.stats.nic_rx_dropped += 1
+        if packet._pool is not None:
+            packet.free()
         return False
 
     def rx_burst(self, max_n: int) -> list[Packet]:
@@ -224,11 +260,14 @@ class NfManager:
                  streams: RandomStreams | None = None,
                  control_policy: ControlPlanePolicy | None = None,
                  miss_fallback: Destination | None = None,
-                 burst_size: int = DEFAULT_BURST_SIZE) -> None:
+                 burst_size: int = DEFAULT_BURST_SIZE,
+                 pool_size: int = DEFAULT_POOL_SIZE) -> None:
         if tx_threads < 1:
             raise ValueError("need at least one TX thread")
         if burst_size < 1:
             raise ValueError("burst size must be at least 1")
+        if pool_size < 0:
+            raise ValueError("pool size must be non-negative")
         self.sim = sim
         self.name = name
         self.costs = costs or HostCosts()
@@ -249,6 +288,14 @@ class NfManager:
         self.streams = streams or RandomStreams(seed=0)
         self.flow_table = FlowTable()
         self.stats = HostStats()
+        # The host's rte_mempool analogue: packet generators and sinks
+        # allocate/reclaim buffers through it.  0 disables pooling (every
+        # packet is a plain heap allocation — the golden-parity baseline).
+        self.packet_pool: PacketPool | None = (
+            PacketPool(pool_size, stats=self.stats) if pool_size else None)
+        # Free list of descriptor wrappers (the mbuf-descriptor analogue):
+        # RX allocation and TX/drop retirement recycle through it.
+        self._desc_pool: list[PacketDescriptor] = []
         self.ports: dict[str, NicPort] = {}
         self.vms_by_service: dict[str, list[NfVm]] = {}
         self._balancers: dict[str, ServiceLoadBalancer] = {}
@@ -260,10 +307,10 @@ class NfManager:
         self._groups: dict[int, _ParallelGroup] = {}
         self._parallel_chains: dict[str, list[str]] = {}
         self._plans: dict[FiveTuple, dict] = {}
-        self._fc_queue = Store(sim)
+        self._fc_queue = Store(sim, recycle=True)
         self._pending_flows: dict[tuple[str, FiveTuple],
                                   list[PacketDescriptor]] = {}
-        self._mgmt_queue = Store(sim)
+        self._mgmt_queue = Store(sim, recycle=True)
         self.policy_validator: typing.Any | None = None
         self.message_handlers: dict[
             str, typing.Callable[[UserMessage], None]] = {}
@@ -435,7 +482,7 @@ class NfManager:
 
     def _expiry_loop(self, interval_ns: int):
         while True:
-            yield self.sim.timeout(interval_ns)
+            yield self.sim.sleep(interval_ns)
             self.flow_table.expire(self.sim.now)
 
     def register_parallel_chain(self, services: typing.Sequence[str]) -> None:
@@ -510,7 +557,7 @@ class NfManager:
         breaches: dict[str, int] = {}
         alarmed: set[str] = set()
         while True:
-            yield self.sim.timeout(interval_ns)
+            yield self.sim.sleep(interval_ns)
             for service, depth in self.service_queue_depths().items():
                 if depth > threshold_slots:
                     breaches[service] = breaches.get(service, 0) + 1
@@ -525,6 +572,26 @@ class NfManager:
 
     def services(self) -> list[str]:
         return list(self.vms_by_service)
+
+    # ------------------------------------------------------------------
+    # Descriptor free list
+    # ------------------------------------------------------------------
+    def _desc_alloc(self, packet: Packet, scope: str,
+                    ingress_at: int) -> PacketDescriptor:
+        """A descriptor wrapper, recycled from the free list when possible."""
+        pool = self._desc_pool
+        if pool:
+            return pool.pop().reset(packet, scope, ingress_at)
+        return PacketDescriptor(packet=packet, scope=scope,
+                                ingress_at=ingress_at)
+
+    def _desc_free(self, descriptor: PacketDescriptor) -> None:
+        """Retire a descriptor nobody references anymore."""
+        if len(self._desc_pool) < _DESC_POOL_LIMIT:
+            descriptor.packet = None  # type: ignore[assignment]
+            descriptor.verdict = None
+            descriptor.cached_entry = None
+            self._desc_pool.append(descriptor)
 
     # ------------------------------------------------------------------
     # RX path
@@ -553,13 +620,12 @@ class NfManager:
                                    FlowTableEntry | None]] = []
             for frame in frames:
                 self.stats.record_rx(frame.size)
-                descriptor = PacketDescriptor(packet=frame, scope=port.name,
-                                              ingress_at=now)
+                descriptor = self._desc_alloc(frame, port.name, now)
                 entry, lookup_cost = self._classify_in_burst(descriptor,
                                                             burst_plans)
                 work += costs.rx_service_ns + lookup_cost
                 classified.append((descriptor, entry))
-            yield self.sim.timeout(work)
+            yield self.sim.sleep(work)
             extra = 0
             for descriptor, entry in classified:
                 if entry is None:
@@ -568,7 +634,7 @@ class NfManager:
                 extra += self._follow_entry(descriptor, entry,
                                             entry.default_action)
             if extra:
-                yield self.sim.timeout(extra)
+                yield self.sim.sleep(extra)
 
     def _classify_in_burst(self, descriptor: PacketDescriptor,
                            burst_plans: dict
@@ -646,13 +712,15 @@ class NfManager:
             self._egress(descriptor, destination.port)
             return 0
         assert isinstance(destination, ToService)
-        chain = self._parallel_chains.get(destination.service_id)
-        if chain is not None and descriptor.group_id is None:
-            return self._fan_out_members(descriptor, chain)
+        if self._parallel_chains and descriptor.group_id is None:
+            chain = self._parallel_chains.get(destination.service_id)
+            if chain is not None:
+                return self._fan_out_members(descriptor, chain)
         replicas = self.vms_by_service.get(destination.service_id, ())
         if not replicas:
             self.stats.dropped_no_vm += 1
             self._release(descriptor.packet)
+            self._desc_free(descriptor)
             return 0
         balancer = self._balancers[destination.service_id]
         vm, scan_cost = balancer.choose(replicas, descriptor.packet.flow)
@@ -660,6 +728,7 @@ class NfManager:
         if not vm.rx_ring.try_enqueue(descriptor):
             self.stats.dropped_ring_full += 1
             self._release(descriptor.packet)
+            self._desc_free(descriptor)
         return scan_cost
 
     def _fan_out(self, descriptor: PacketDescriptor,
@@ -676,28 +745,36 @@ class NfManager:
                                exit_scope=members[-1])
         self._groups[group_id] = group
         self.stats.parallel_groups += 1
-        descriptor.packet.add_reference(len(members) - 1)
+        packet = descriptor.packet
+        packet.add_reference(len(members) - 1)
         cost = self.costs.parallel_fanout_ns * (len(members) - 1)
         for index, service_id in enumerate(members):
-            member = descriptor.fork(scope=service_id, group_id=group_id,
-                                     group_index=index)
+            member = self._desc_alloc(packet, service_id,
+                                      descriptor.ingress_at)
+            member.group_id = group_id
+            member.group_index = index
+            member.cached_entry = descriptor.cached_entry
+            member.cached_generation = descriptor.cached_generation
             replicas = self.vms_by_service.get(service_id, ())
             if not replicas:
                 self.stats.dropped_no_vm += 1
-                self._release(descriptor.packet)
+                self._release(packet)
+                self._desc_free(member)
                 group.member_lost()
                 continue
             balancer = self._balancers[service_id]
-            vm, scan_cost = balancer.choose(replicas,
-                                            descriptor.packet.flow)
+            vm, scan_cost = balancer.choose(replicas, packet.flow)
             cost += scan_cost
             self.stats.record_service(service_id)
             if not vm.rx_ring.try_enqueue(member):
                 self.stats.dropped_ring_full += 1
-                self._release(descriptor.packet)
+                self._release(packet)
+                self._desc_free(member)
                 group.member_lost()
         if group.expected <= 0:
             del self._groups[group_id]
+        # The template descriptor's reference now lives in the members.
+        self._desc_free(descriptor)
         return cost
 
     # ------------------------------------------------------------------
@@ -715,6 +792,7 @@ class NfManager:
         for descriptor in descriptors[accepted:]:
             self.stats.dropped_ring_full += 1
             self._release(descriptor.packet)
+            self._desc_free(descriptor)
 
     def _tx_loop(self, queue: RingBuffer):
         """One TX thread: burst-drain completed descriptors, resolve.
@@ -733,8 +811,8 @@ class NfManager:
             if self.burst_size > 1:
                 batch.extend(queue.dequeue_burst(self.burst_size - 1))
             self.stats.record_tx_batch(len(batch))
-            yield self.sim.timeout(costs.tx_batch_poll_ns
-                                   + costs.tx_service_ns * len(batch))
+            yield self.sim.sleep(costs.tx_batch_poll_ns
+                                 + costs.tx_service_ns * len(batch))
             merged_any = False
             merge_cost = 0
             survivors: list[PacketDescriptor] = []
@@ -749,7 +827,7 @@ class NfManager:
                                    * max(0, member_count - 1))
                 survivors.append(descriptor)
             if merged_any:
-                yield self.sim.timeout(merge_cost)
+                yield self.sim.sleep(merge_cost)
             burst_plans: dict = {}
             lookup_total = 0
             resolved: list[tuple[PacketDescriptor,
@@ -761,12 +839,12 @@ class NfManager:
                 lookup_total += lookup_cost
                 resolved.append((descriptor, entry))
             if lookup_total:
-                yield self.sim.timeout(lookup_total)
+                yield self.sim.sleep(lookup_total)
             extra = 0
             for descriptor, entry in resolved:
                 extra += self._resolve_verdict(descriptor, entry)
             if extra:
-                yield self.sim.timeout(extra)
+                yield self.sim.sleep(extra)
 
     def _absorb_group_member(
             self, descriptor: PacketDescriptor
@@ -776,20 +854,21 @@ class NfManager:
         group = self._groups.get(descriptor.group_id)
         if group is None:  # group finalized by member loss accounting
             self._release(descriptor.packet)
+            self._desc_free(descriptor)
             return None
         if not group.member_done(descriptor):
             self._release(descriptor.packet)
+            self._desc_free(descriptor)
             return None
         del self._groups[descriptor.group_id]
         verdict = resolve_parallel_verdicts(group.verdicts,
                                             policy=self.conflict_policy)
-        merged = PacketDescriptor(
-            packet=descriptor.packet,
-            scope=group.exit_scope,
-            verdict=verdict,
-            ingress_at=descriptor.ingress_at,
-        )
-        return merged, len(group.verdicts)
+        merged = self._desc_alloc(descriptor.packet, group.exit_scope,
+                                  descriptor.ingress_at)
+        merged.verdict = verdict
+        count = len(group.verdicts)
+        self._desc_free(descriptor)
+        return merged, count
 
     def _resolve_verdict(self, descriptor: PacketDescriptor,
                          entry: FlowTableEntry | None) -> int:
@@ -890,7 +969,7 @@ class NfManager:
                                           scope=scope, attempt=attempt)
             if attempt + 1 < policy.max_attempts:
                 self.stats.sdn_retries += 1
-                yield self.sim.timeout(policy.backoff_ns(attempt))
+                yield self.sim.sleep(policy.backoff_ns(attempt))
         if self.event_log is not None:
             self.event_log.record("controller_unreachable", host=self.name,
                                   scope=scope,
@@ -1074,17 +1153,26 @@ class NfManager:
         if port is None:
             self._drop(descriptor, "dropped_no_rule")
             return
-        self.stats.record_tx(port_name, descriptor.packet.size)
-        self._release(descriptor.packet)
-        port.transmit(descriptor.packet)
+        packet = descriptor.packet
+        self.stats.record_tx(port_name, packet.size)
+        # Pure refcount drop — no pool reclaim here: the zero-ref buffer
+        # is still on the wire (NIC TX FIFO, then fabric / egress sinks).
+        # The terminal owner (pktgen's return sink, a drop path, or the
+        # next host) reclaims it.
+        packet.release()
+        self._desc_free(descriptor)
+        port.transmit(packet)
 
     def _drop(self, descriptor: PacketDescriptor, counter: str) -> None:
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
         self._release(descriptor.packet)
+        self._desc_free(descriptor)
 
     @staticmethod
     def _release(packet: Packet) -> None:
-        packet.release()
+        # free(), not release(): drop paths are terminal owners, so a
+        # pooled buffer goes straight back to its slab at refcount zero.
+        packet.free()
 
 
 def _parse_target(target: str) -> Destination:

@@ -57,6 +57,10 @@ class PriorityNicPort(NicPort):
         self.per_priority_tx = [0] * priority_levels
         super().__init__(sim, name, line_rate_gbps=line_rate_gbps,
                          rx_frames=rx_frames)
+        # The base port's wire drain is a timer state machine armed by
+        # NicPort.transmit(); priority queues need the scan-all-levels
+        # loop instead, so this subclass runs its own drain process.
+        sim.process(self._drain())
 
     @property
     def levels(self) -> int:

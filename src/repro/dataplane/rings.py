@@ -30,7 +30,9 @@ class RingBuffer:
             raise ValueError("ring must have at least one slot")
         self.name = name
         self.slots = slots
-        self._store = Store(sim, capacity=slots)
+        # Ring poll events are only ever yielded by the consumer loop, so
+        # they recycle through the simulator's kernel free list.
+        self._store = Store(sim, capacity=slots, recycle=True)
         self.enqueued = 0
         self.dropped = 0
 

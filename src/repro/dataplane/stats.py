@@ -37,6 +37,12 @@ class HostStats:
     # otherwise invisible in manager-level accounting).
     nic_rx_dropped: int = 0
     nic_link_dropped: int = 0
+    # Packet mempool traffic, mirrored from the host's PacketPool: hits
+    # reuse a retired buffer, misses materialize a new pooled one (cold
+    # start), exhausted allocations overflowed to the plain heap.
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_exhausted: int = 0
     # Burst pipeline: polls per stage and the batch-occupancy histogram
     # (batch size -> number of polls that returned that many packets).
     rx_batches: int = 0
@@ -115,6 +121,9 @@ class HostStats:
             "lost_in_nf": self.lost_in_nf,
             "nic_rx_dropped": self.nic_rx_dropped,
             "nic_link_dropped": self.nic_link_dropped,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_exhausted": self.pool_exhausted,
             "rx_batches": self.rx_batches,
             "tx_batches": self.tx_batches,
             "vm_batches": self.vm_batches,

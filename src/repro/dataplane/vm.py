@@ -175,7 +175,7 @@ class NfVm:
                 work = costs.vm_batch_poll_ns + sum(cost
                                                     for _, cost in jobs)
                 self._busy_until_ns = self.sim.now + work
-                yield self.sim.timeout(work)
+                yield self.sim.sleep(work)
                 self.busy_ns += work
                 # Batch complete: emit verdicts and group the handoff by
                 # delivery delay (one timer per distinct delay, not one
@@ -201,12 +201,13 @@ class NfVm:
                 self.inflight = None
                 self.last_progress_ns = self.sim.now
                 for delay, done in handoff.items():
-                    self.sim.schedule(
-                        delay,
-                        lambda descs=done: self.manager.tx_submit_burst(
-                            descs, self))
+                    # Bare timer lane: the handoff needs no Event object.
+                    self.sim.call_later(delay, self._submit_batch, done)
         except Interrupt as interrupt:
             self._on_killed(str(interrupt.cause or "crash"))
+
+    def _submit_batch(self, descriptors: list[PacketDescriptor]) -> None:
+        self.manager.tx_submit_burst(descriptors, self)
 
     def _on_killed(self, cause: str) -> None:
         self.failed = True
@@ -216,7 +217,7 @@ class NfVm:
             # The packet the NF was holding dies with it.
             self.packets_lost += 1
             self.manager.stats.lost_in_nf += 1
-            self.inflight.packet.release()
+            self.inflight.packet.free()
             self.inflight = None
 
     def __repr__(self) -> str:

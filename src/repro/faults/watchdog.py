@@ -101,13 +101,18 @@ class NfWatchdog:
         if self._started:
             raise RuntimeError("watchdog already started")
         self._started = True
-        self.sim.process(self._loop())
+        self.sim.call_later(self.interval_ns, self._tick)
         return self
 
-    def _loop(self):
-        while True:
-            yield self.sim.timeout(self.interval_ns)
-            self.sweep()
+    def _tick(self, _arg=None) -> None:
+        """One heartbeat: sweep, then re-arm on the bare timer lane.
+
+        A self-rearming ``call_later`` instead of a generator process:
+        the periodic heartbeat allocates no Event objects at all, like a
+        DPDK ``rte_timer`` callback.
+        """
+        self.sweep()
+        self.sim.call_later(self.interval_ns, self._tick)
 
     # ------------------------------------------------------------------
     # Detection

@@ -19,9 +19,11 @@ from repro.net.headers import (
 )
 from repro.net.http import HttpRequest, HttpResponse, classify_content_type
 from repro.net.memcached import MemcachedRequest, MemcachedResponse
+from repro.net.mempool import DEFAULT_POOL_SIZE, PacketPool
 from repro.net.packet import Packet, wire_bits
 
 __all__ = [
+    "DEFAULT_POOL_SIZE",
     "EthernetHeader",
     "FiveTuple",
     "FlowMatch",
@@ -34,6 +36,7 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "Packet",
+    "PacketPool",
     "TcpHeader",
     "UdpHeader",
     "classify_content_type",

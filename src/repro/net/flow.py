@@ -12,15 +12,60 @@ import dataclasses
 from repro.net.headers import ip_to_int
 
 
-@dataclasses.dataclass(frozen=True)
 class FiveTuple:
-    """Exact flow identity: (src_ip, dst_ip, protocol, src_port, dst_port)."""
+    """Exact flow identity: (src_ip, dst_ip, protocol, src_port, dst_port).
 
-    src_ip: str
-    dst_ip: str
-    protocol: int
-    src_port: int
-    dst_port: int
+    Immutable and hashable — flows key every table on the hot path (flow
+    rules, per-flow stats, burst classification), so the hash and the
+    packed integer key used by :meth:`hash_bucket` are computed once and
+    cached (a frozen dataclass would rebuild both on every lookup).
+    """
+
+    __slots__ = ("src_ip", "dst_ip", "protocol", "src_port", "dst_port",
+                 "_hash", "_int_key")
+
+    def __init__(self, src_ip: str, dst_ip: str, protocol: int,
+                 src_port: int, dst_port: int) -> None:
+        set_ = object.__setattr__
+        set_(self, "src_ip", src_ip)
+        set_(self, "dst_ip", dst_ip)
+        set_(self, "protocol", protocol)
+        set_(self, "src_port", src_port)
+        set_(self, "dst_port", dst_port)
+        set_(self, "_hash", None)
+        set_(self, "_int_key", None)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("FiveTuple is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("FiveTuple is immutable")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not FiveTuple:
+            return NotImplemented
+        return (self.src_ip == other.src_ip
+                and self.dst_ip == other.dst_ip
+                and self.protocol == other.protocol
+                and self.src_port == other.src_port
+                and self.dst_port == other.dst_port)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.src_ip, self.dst_ip, self.protocol,
+                           self.src_port, self.dst_port))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def _packed_key(self) -> tuple[int, int, int, int, int]:
+        """All-integer key (IPs packed via ``ip_to_int``), cached."""
+        key = self._int_key
+        if key is None:
+            key = (ip_to_int(self.src_ip), ip_to_int(self.dst_ip),
+                   self.protocol, self.src_port, self.dst_port)
+            object.__setattr__(self, "_int_key", key)
+        return key
 
     def reversed(self) -> "FiveTuple":
         """The reverse direction of this flow (for replies)."""
@@ -32,13 +77,16 @@ class FiveTuple:
         """Deterministic bucket for flow-hash load balancing (RSS-style)."""
         if buckets <= 0:
             raise ValueError("buckets must be positive")
-        key = (ip_to_int(self.src_ip), ip_to_int(self.dst_ip),
-               self.protocol, self.src_port, self.dst_port)
         value = 1469598103934665603
-        for field in key:
+        for field in self._packed_key():
             value ^= field
             value = (value * 1099511628211) % (1 << 63)
         return value % buckets
+
+    def __repr__(self) -> str:
+        return (f"FiveTuple(src_ip={self.src_ip!r}, dst_ip={self.dst_ip!r}, "
+                f"protocol={self.protocol!r}, src_port={self.src_port!r}, "
+                f"dst_port={self.dst_port!r})")
 
     def __str__(self) -> str:
         return (f"{self.src_ip}:{self.src_port}->"

@@ -6,6 +6,14 @@ Manager and VMs pass *descriptors* referencing it (see
 zero-copy design.  ``ref_count`` supports the parallel-processing extension
 (§4.2: "we extend the packet data structure used by DPDK to include a
 reference counter").
+
+Hot-path notes: the class is slotted, and the header objects and the
+``annotations`` dict are materialized lazily — a forwarding-only chain
+(Fig. 7's noop NFs) never touches headers, so the common case allocates
+one object per packet instead of six.  Buffers themselves come from a
+:class:`repro.net.mempool.PacketPool` when the host has one; ``_reset``
+rewinds a retired buffer for reuse while still minting a fresh monotonic
+``packet_id``.
 """
 
 from __future__ import annotations
@@ -24,12 +32,14 @@ from repro.net.headers import (
     UdpHeader,
 )
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.mempool import PacketPool
+
 ETHERNET_OVERHEAD_BYTES = 24  # preamble 8 + FCS 4 + interframe gap 12
 
 _packet_ids = itertools.count()
 
 
-@dataclasses.dataclass
 class Packet:
     """A simulated packet.
 
@@ -41,42 +51,129 @@ class Packet:
     shared packet state in huge pages.
     """
 
-    flow: FiveTuple
-    size: int = 64
-    payload: str = ""
-    eth: EthernetHeader = dataclasses.field(default_factory=EthernetHeader)
-    ip: Ipv4Header | None = None
-    l4: TcpHeader | UdpHeader | None = None
-    created_at: int = 0
-    annotations: dict[str, typing.Any] = dataclasses.field(
-        default_factory=dict)
-    ref_count: int = 1
-    packet_id: int = dataclasses.field(
-        default_factory=lambda: next(_packet_ids))
+    __slots__ = ("flow", "size", "payload", "created_at", "ref_count",
+                 "packet_id", "_eth", "_ip", "_l4", "_annotations",
+                 "_pool", "_in_pool")
 
-    def __post_init__(self) -> None:
-        if self.size < 64:
-            raise ValueError(f"frame below 64-byte minimum: {self.size}")
-        if self.ip is None:
-            self.ip = Ipv4Header(src_ip=self.flow.src_ip,
-                                 dst_ip=self.flow.dst_ip,
-                                 protocol=self.flow.protocol)
-        if self.l4 is None:
-            if self.flow.protocol == PROTO_TCP:
-                self.l4 = TcpHeader(src_port=self.flow.src_port,
-                                    dst_port=self.flow.dst_port)
-            elif self.flow.protocol == PROTO_UDP:
-                self.l4 = UdpHeader(src_port=self.flow.src_port,
-                                    dst_port=self.flow.dst_port)
+    def __init__(self, flow: FiveTuple, size: int = 64, payload: str = "",
+                 eth: EthernetHeader | None = None,
+                 ip: Ipv4Header | None = None,
+                 l4: TcpHeader | UdpHeader | None = None,
+                 created_at: int = 0,
+                 annotations: dict[str, typing.Any] | None = None,
+                 ref_count: int = 1,
+                 packet_id: int | None = None) -> None:
+        if size < 64:
+            raise ValueError(f"frame below 64-byte minimum: {size}")
+        self.flow = flow
+        self.size = size
+        self.payload = payload
+        self.created_at = created_at
+        self.ref_count = ref_count
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self._eth = eth
+        self._ip = ip
+        self._l4 = l4
+        self._annotations = annotations
+        self._pool: "PacketPool | None" = None
+        self._in_pool = False
 
+    def _reset(self, flow: FiveTuple, size: int, payload: str,
+               created_at: int) -> None:
+        """Rewind a retired pooled buffer for reuse.
+
+        Everything observable is re-initialized — headers and annotations
+        are dropped (never leaked to the next tenant) and a fresh
+        monotonic ``packet_id`` is minted, so reuse is indistinguishable
+        from a new allocation.
+        """
+        if size < 64:
+            raise ValueError(f"frame below 64-byte minimum: {size}")
+        self.flow = flow
+        self.size = size
+        self.payload = payload
+        self.created_at = created_at
+        self.ref_count = 1
+        self.packet_id = next(_packet_ids)
+        self._eth = None
+        self._ip = None
+        self._l4 = None
+        self._annotations = None
+
+    # ------------------------------------------------------------------
+    # Lazily-materialized headers and scratch space
+    # ------------------------------------------------------------------
+    @property
+    def eth(self) -> EthernetHeader:
+        header = self._eth
+        if header is None:
+            header = self._eth = EthernetHeader()
+        return header
+
+    @eth.setter
+    def eth(self, header: EthernetHeader) -> None:
+        self._eth = header
+
+    @property
+    def ip(self) -> Ipv4Header:
+        header = self._ip
+        if header is None:
+            flow = self.flow
+            header = self._ip = Ipv4Header(src_ip=flow.src_ip,
+                                           dst_ip=flow.dst_ip,
+                                           protocol=flow.protocol)
+        return header
+
+    @ip.setter
+    def ip(self, header: Ipv4Header) -> None:
+        self._ip = header
+
+    @property
+    def l4(self) -> TcpHeader | UdpHeader | None:
+        header = self._l4
+        if header is None:
+            flow = self.flow
+            if flow.protocol == PROTO_TCP:
+                header = self._l4 = TcpHeader(src_port=flow.src_port,
+                                              dst_port=flow.dst_port)
+            elif flow.protocol == PROTO_UDP:
+                header = self._l4 = UdpHeader(src_port=flow.src_port,
+                                              dst_port=flow.dst_port)
+        return header
+
+    @l4.setter
+    def l4(self, header: TcpHeader | UdpHeader | None) -> None:
+        self._l4 = header
+
+    @property
+    def annotations(self) -> dict[str, typing.Any]:
+        scratch = self._annotations
+        if scratch is None:
+            scratch = self._annotations = {}
+        return scratch
+
+    @annotations.setter
+    def annotations(self, scratch: dict[str, typing.Any]) -> None:
+        self._annotations = scratch
+
+    @property
+    def pool(self) -> "PacketPool | None":
+        """The mempool this buffer belongs to (None = plain heap packet)."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Mutation and reference counting
+    # ------------------------------------------------------------------
     def rewrite_destination(self, dst_ip: str, dst_port: int) -> None:
         """Redirect the packet (the memcached proxy's header rewrite)."""
-        self.flow = dataclasses.replace(self.flow, dst_ip=dst_ip,
-                                        dst_port=dst_port)
-        assert self.ip is not None
-        self.ip = dataclasses.replace(self.ip, dst_ip=dst_ip)
-        if isinstance(self.l4, (TcpHeader, UdpHeader)):
-            self.l4 = dataclasses.replace(self.l4, dst_port=dst_port)
+        flow = self.flow
+        self.flow = FiveTuple(src_ip=flow.src_ip, dst_ip=dst_ip,
+                              protocol=flow.protocol, src_port=flow.src_port,
+                              dst_port=dst_port)
+        self._ip = dataclasses.replace(self.ip, dst_ip=dst_ip)
+        l4 = self.l4
+        if isinstance(l4, (TcpHeader, UdpHeader)):
+            self._l4 = dataclasses.replace(l4, dst_port=dst_port)
 
     def add_reference(self, count: int = 1) -> None:
         """Account ``count`` additional concurrent holders of this buffer."""
@@ -85,11 +182,31 @@ class Packet:
         self.ref_count += count
 
     def release(self) -> bool:
-        """Drop one reference.  Returns True when the buffer is now free."""
+        """Drop one reference.  Returns True when the buffer is now free.
+
+        Pure reference accounting — the buffer is *not* returned to its
+        pool here, because a zero-ref packet may still be on the wire
+        (NIC TX FIFO, fabric propagation, egress stores).  Terminal
+        owners call :meth:`free` or ``pool.reclaim`` instead.
+        """
         if self.ref_count <= 0:
             raise RuntimeError("releasing an already-freed packet")
         self.ref_count -= 1
         return self.ref_count == 0
+
+    def free(self) -> bool:
+        """Drop one reference and recycle the buffer when it hits zero.
+
+        The terminal-owner variant of :meth:`release`: at refcount zero
+        the buffer goes back to its :class:`PacketPool` (no-op for plain
+        heap packets).  Returns True when the buffer was freed.
+        """
+        if self.release():
+            pool = self._pool
+            if pool is not None:
+                pool.reclaim(self)
+            return True
+        return False
 
 
 def wire_bits(size_bytes: int) -> int:

@@ -79,8 +79,9 @@ class SourceNat(NetworkFunction):
                                                   flow.src_port)
         # Outbound: rewrite the source in place (zero-copy, like the
         # memcached proxy's destination rewrite).
-        packet.flow = dataclasses.replace(flow, src_ip=self.public_ip,
-                                          src_port=port)
+        packet.flow = FiveTuple(src_ip=self.public_ip, dst_ip=flow.dst_ip,
+                                protocol=flow.protocol, src_port=port,
+                                dst_port=flow.dst_port)
         assert packet.ip is not None
         packet.ip = dataclasses.replace(packet.ip,
                                         src_ip=self.public_ip)

@@ -4,11 +4,18 @@ The kernel is callback-based at the bottom (:class:`Event`) with a
 generator-based process layer on top (:class:`Process`).  A process is a
 generator that yields events; when a yielded event fires, the process is
 resumed with the event's value (or the event's exception is thrown into it).
+
+Hot-path notes: every event class carries ``__slots__`` (millions of
+timeouts and wakeups are created on the Fig. 7 workloads), one-shot
+process wakeups are drawn from the simulator's free list
+(:meth:`Simulator._wakeup`), and events abandoned by an interrupt are
+lazily cancelled so the scheduler can discard them unprocessed.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush as _heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
@@ -26,6 +33,9 @@ class Event:
     process that waits on them.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_defused",
+                 "_cancelled", "_recycle")
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: list[typing.Callable[[Event], None]] | None = []
@@ -34,6 +44,12 @@ class Event:
         # Failures must either be waited on or explicitly defused, mirroring
         # "errors should never pass silently".
         self._defused = False
+        # Lazy cancellation: a triggered event nobody listens to anymore
+        # (e.g. a deadline abandoned by an interrupt) is skipped, not run.
+        self._cancelled = False
+        # Kernel-internal events return to the simulator free list after
+        # their callbacks run; user-visible events never do.
+        self._recycle = False
 
     @property
     def triggered(self) -> bool:
@@ -61,10 +77,15 @@ class Event:
 
     def succeed(self, value: typing.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = value
-        self.sim._enqueue(self)
+        # Inlined Simulator._enqueue(self): succeed() fires once per
+        # store hand-off, per packet, per stage — the hottest call in
+        # the kernel.
+        sim = self.sim
+        _heappush(sim._queue, (sim.now, sim._sequence, self))
+        sim._sequence += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -82,6 +103,16 @@ class Event:
         """Mark a failed event as handled so the kernel won't re-raise it."""
         self._defused = True
 
+    def cancel(self) -> None:
+        """Lazily cancel a triggered event.
+
+        The heap entry stays put; when popped, the scheduler discards it
+        *if no callbacks are subscribed at that point* (subscribing again
+        effectively un-cancels).  This is how abandoned deadlines avoid
+        being dispatched long after anyone cares.
+        """
+        self._cancelled = True
+
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
         assert callbacks is not None
@@ -98,6 +129,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int,
                  value: typing.Any = None) -> None:
@@ -125,6 +158,8 @@ class Process(Event):
     exception).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, sim: "Simulator",
                  generator: typing.Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -132,10 +167,8 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._target: Event | None = None
-        # Kick off the process via an immediately-triggered initial event.
-        start = Event(sim)
-        start.callbacks.append(self._resume)
-        start.succeed()
+        # Kick off the process via an immediately-firing recycled event.
+        sim._wakeup(None, None, self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -148,12 +181,7 @@ class Process(Event):
         if (self._target is not None
                 and self._target is self.sim.active_event):
             raise RuntimeError("a process cannot interrupt itself")
-        interrupt_event = Event(self.sim)
-        interrupt_event._exception = Interrupt(cause)
-        interrupt_event._value = None
-        interrupt_event.defuse()
-        interrupt_event.callbacks.append(self._interrupted)
-        self.sim._enqueue(interrupt_event)
+        self.sim._wakeup(None, Interrupt(cause), self._interrupted)
 
     def _interrupted(self, event: Event) -> None:
         """Deliver an interrupt: first detach from the abandoned target so
@@ -166,21 +194,27 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not target.callbacks and isinstance(target, Timeout):
+                # Nobody is left waiting: let the scheduler discard the
+                # entry instead of dispatching a dead timeout (heap-bloat
+                # fix for interrupted ring waits and abandoned deadlines).
+                target._cancelled = True
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
         # A stale wakeup: the process was interrupted and already moved on,
         # or finished.  Ignore the original target's completion.
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._exception is None:
                 next_event = self._generator.send(event._value)
             else:
                 # The waited-on event failed (or we were interrupted); the
                 # failure is now the process's problem.
-                event.defuse()
+                event._defused = True
                 next_event = self._generator.throw(event._exception)
         except StopIteration as stop:
             self._target = None
@@ -191,37 +225,33 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
-        if not isinstance(next_event, Event):
-            kind = type(next_event).__name__
-            error = RuntimeError(
-                f"process yielded a non-event ({kind}); yield sim.timeout() "
-                "or another Event")
-            try:
-                self._generator.throw(error)
-            except BaseException as exc:
-                self.fail(exc)
-                return
-            # The generator swallowed the error and kept yielding; that is
-            # a programming error we refuse to paper over.
-            self.fail(error)
+        if isinstance(next_event, Event):
+            if next_event.sim is not sim:
+                raise RuntimeError("process yielded an event from another "
+                                   "simulator")
+            self._target = next_event
+            callbacks = next_event.callbacks
+            if callbacks is None:
+                # Already processed: resume immediately at the current time.
+                sim._wakeup(next_event._value, next_event._exception,
+                            self._resume)
+            else:
+                callbacks.append(self._resume)
             return
-        if next_event.sim is not self.sim:
-            raise RuntimeError("process yielded an event from another "
-                               "simulator")
-        self._target = next_event
-        if next_event.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            wakeup = Event(self.sim)
-            wakeup._value = next_event._value
-            wakeup._exception = next_event._exception
-            if wakeup._exception is not None:
-                wakeup.defuse()
-            wakeup.callbacks.append(self._resume)
-            self.sim._enqueue(wakeup)
-        else:
-            next_event.callbacks.append(self._resume)
+        kind = type(next_event).__name__
+        error = RuntimeError(
+            f"process yielded a non-event ({kind}); yield sim.timeout() "
+            "or another Event")
+        try:
+            self._generator.throw(error)
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        # The generator swallowed the error and kept yielding; that is
+        # a programming error we refuse to paper over.
+        self.fail(error)
 
 
 class _Condition(Event):
@@ -231,6 +261,8 @@ class _Condition(Event):
     ran) — being merely scheduled (e.g. a fresh Timeout, which is
     triggered at creation) does not count.
     """
+
+    __slots__ = ("events", "_completed")
 
     def __init__(self, sim: "Simulator",
                  events: typing.Sequence[Event]) -> None:
@@ -252,6 +284,8 @@ class _Condition(Event):
                 event.callbacks.append(self._observe)
         if not self.triggered and self._satisfied():
             self.succeed(self._collect())
+        if self.triggered:
+            self._detach_pending_timeouts()
 
     def _observe(self, event: Event) -> None:
         if self.triggered:
@@ -261,10 +295,31 @@ class _Condition(Event):
         if event._exception is not None:
             event.defuse()
             self.fail(event._exception)
+            self._detach_pending_timeouts()
             return
         self._completed += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._detach_pending_timeouts()
+
+    def _detach_pending_timeouts(self) -> None:
+        """Stop watching timeouts that can no longer matter.
+
+        Deadline timeouts raced against an RPC reply (the control-plane
+        ``any_of([reply, deadline])`` pattern) would otherwise sit in the
+        heap and be dispatched long after the condition fired.  Only
+        :class:`Timeout` constituents are pruned: they can never fail, so
+        dropping our subscription cannot silence an un-defused failure.
+        """
+        for event in self.events:
+            callbacks = event.callbacks
+            if callbacks is not None and isinstance(event, Timeout):
+                try:
+                    callbacks.remove(self._observe)
+                except ValueError:
+                    continue
+                if not callbacks:
+                    event._cancelled = True
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -278,12 +333,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event is processed."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._completed >= 1 or not self.events
 
 
 class AllOf(_Condition):
     """Triggers once all constituent events are processed."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._completed >= len(self.events)

@@ -1,15 +1,34 @@
-"""The event loop: an integer-nanosecond discrete-event scheduler."""
+"""The event loop: an integer-nanosecond discrete-event scheduler.
+
+Two scheduling lanes share one heap and one sequence counter:
+
+- the **event lane** pushes ``(when, seq, Event)`` and dispatches through
+  :meth:`Event._run_callbacks`;
+- the **timer lane** (:meth:`Simulator.call_later`, the ``rte_timer``
+  analogue) pushes a bare ``(when, seq, fn, arg)`` with no Event object
+  at all — the fast path for poll wakeups, heartbeats, and deferred
+  callbacks that nobody ever waits on.
+
+Entries never compare past the sequence number (it is unique), so the
+mixed tuple arities are safe to co-exist in one heap.  Because both lanes
+consume the same sequence counter, ``events_scheduled`` remains an honest
+odometer of kernel work and timestamp tie-breaks stay globally FIFO.
+"""
 
 from __future__ import annotations
 
 import heapq
 import typing
 
-from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.events import _PENDING, AllOf, AnyOf, Event, Process, Timeout
 
 
 class EmptySchedule(Exception):
     """Raised internally when the event queue runs dry."""
+
+
+def _invoke(callback: typing.Callable[[], None]) -> None:
+    callback()
 
 
 class Simulator:
@@ -20,12 +39,24 @@ class Simulator:
     number), which keeps runs reproducible.
     """
 
+    # One-shot wakeup events kept for reuse; sized to comfortably cover
+    # the wakeups in flight at any instant (starts, interrupts, stale
+    # targets, sleeps) without pinning memory.
+    _EVENT_POOL_LIMIT = 128
+
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Event]] = []
+        # Mixed arity: (when, seq, Event) | (when, seq, fn, arg).
+        self._queue: list[tuple] = []
         self._sequence = 0
         self._active_process: Process | None = None
         self.active_event: Event | None = None
+        #: Bare timers pushed through :meth:`call_later` (subset of
+        #: :attr:`events_scheduled`).
+        self.timers_scheduled = 0
+        #: Lazily-cancelled events discarded unprocessed by :meth:`_step`.
+        self.events_cancelled = 0
+        self._event_pool: list[Event] = []
 
     # ------------------------------------------------------------------
     # Factories
@@ -37,6 +68,35 @@ class Simulator:
     def timeout(self, delay: int, value: typing.Any = None) -> Timeout:
         """Create an event firing ``delay`` ns from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: int) -> Event:
+        """A fire-and-forget delay drawn from the kernel free list.
+
+        Semantically ``timeout(delay)`` for the caller that only ever
+        ``yield``\\ s it: the returned event is *recycled* after its
+        callbacks run, so per-packet work waits allocate nothing in
+        steady state.  Do **not** retain the event past its firing (use
+        :meth:`timeout` when the event object itself matters, e.g. to
+        read a value or race it in a condition).
+        """
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay}")
+        # _acquire_event inlined: sleep() backs every per-burst work wait.
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._exception = None
+            event._defused = False
+            event._cancelled = False
+        else:
+            event = Event(self)
+            event._recycle = True
+        event._value = None
+        heapq.heappush(self._queue,
+                       (self.now + int(delay), self._sequence, event))
+        self._sequence += 1
+        return event
 
     def process(self, generator: typing.Generator) -> Process:
         """Start a new process from a generator."""
@@ -55,11 +115,14 @@ class Simulator:
 
     @property
     def events_scheduled(self) -> int:
-        """Total events ever enqueued — the kernel-work odometer.
+        """Total heap entries ever enqueued — the kernel-work odometer.
 
-        Batching ablations divide this by packets moved to get "kernel
-        events per packet", the simulator-side analogue of per-packet
-        event-dispatch overhead in the real NF Manager.
+        Counts both lanes (Event objects *and* bare ``call_later``
+        timers; the latter are also broken out in
+        :attr:`timers_scheduled`).  Batching ablations divide this by
+        packets moved to get "kernel events per packet", the
+        simulator-side analogue of per-packet event-dispatch overhead in
+        the real NF Manager.
         """
         return self._sequence
 
@@ -73,29 +136,105 @@ class Simulator:
                        (self.now + int(delay), self._sequence, event))
         self._sequence += 1
 
+    def call_later(self, delay: int, fn: typing.Callable[[typing.Any], None],
+                   arg: typing.Any = None) -> None:
+        """Run ``fn(arg)`` after ``delay`` ns — the bare timer lane.
+
+        The ``rte_timer`` analogue: no Event object, no callback list,
+        just a ``(when, seq, fn, arg)`` heap entry.  Use it for wakeups
+        nobody waits on (poll loops, heartbeats, deferred hand-offs); use
+        :meth:`timeout` when the result must be awaitable.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue,
+                       (self.now + int(delay), self._sequence, fn, arg))
+        self._sequence += 1
+        self.timers_scheduled += 1
+
     def schedule(self, delay: int,
-                 callback: typing.Callable[[], None]) -> Event:
-        """Run ``callback()`` after ``delay`` ns.  Returns the timer event."""
-        timer = self.timeout(delay)
-        timer.callbacks.append(lambda _event: callback())
-        return timer
+                 callback: typing.Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` ns (timer-lane convenience)."""
+        self.call_later(delay, _invoke, callback)
 
     def peek(self) -> int | None:
         """Timestamp of the next event, or None if the queue is empty."""
         return self._queue[0][0] if self._queue else None
 
+    # ------------------------------------------------------------------
+    # Free-list wakeups
+    # ------------------------------------------------------------------
+    def _acquire_event(self) -> Event:
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = _PENDING
+            event._exception = None
+            event._defused = False
+            event._cancelled = False
+            return event
+        event = Event(self)
+        event._recycle = True
+        return event
+
+    def _release_event(self, event: Event) -> None:
+        if len(self._event_pool) < self._EVENT_POOL_LIMIT:
+            self._event_pool.append(event)
+
+    def _wakeup(self, value: typing.Any, exception: BaseException | None,
+                callback: typing.Callable[[Event], None]) -> None:
+        """Enqueue an immediately-firing one-shot event from the free list.
+
+        Backs process starts, interrupts, and already-processed-target
+        resumes; the event is recycled after dispatch, so these allocate
+        nothing in steady state.
+        """
+        event = self._acquire_event()
+        event._value = value
+        event._exception = exception
+        if exception is not None:
+            event._defused = True
+        event.callbacks.append(callback)
+        heapq.heappush(self._queue, (self.now, self._sequence, event))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
     def _step(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise EmptySchedule()
-        when, _seq, event = heapq.heappop(self._queue)
+        entry = heapq.heappop(queue)
+        when = entry[0]
         if when < self.now:
             raise AssertionError("time went backwards")
         self.now = when
+        if len(entry) == 4:
+            # Bare timer lane: dispatch fn(arg) with no Event machinery.
+            entry[2](entry[3])
+            return
+        event = entry[2]
+        callbacks = event.callbacks
+        if event._cancelled and not callbacks:
+            # Lazily-cancelled and nobody re-subscribed: discard.
+            self.events_cancelled += 1
+            return
+        # Event._run_callbacks inlined: one dispatch per event lane entry.
         self.active_event = event
+        event.callbacks = None
         try:
-            event._run_callbacks()
+            for callback in callbacks:
+                callback(event)
+            if event._exception is not None and not event._defused:
+                raise event._exception
         finally:
             self.active_event = None
+        if event._recycle:
+            pool = self._event_pool
+            if len(pool) < self._EVENT_POOL_LIMIT:
+                pool.append(event)
 
     def run(self, until: int | Event | None = None) -> typing.Any:
         """Run the simulation.

@@ -21,14 +21,23 @@ class Store:
 
     Non-blocking variants ``try_put`` / ``try_get`` return success/None
     immediately — these model drop-on-full ring buffers.
+
+    ``recycle=True`` draws put/get events from the simulator's kernel
+    free list instead of allocating: they are reused after their
+    callbacks run, so a steady-state consumer loop allocates no Event
+    objects.  Only safe for *internal* stores whose events are always
+    ``yield``\\ ed immediately and never retained past their firing —
+    leave it off for stores exposed to arbitrary callers.
     """
 
     def __init__(self, sim: "Simulator",
-                 capacity: int | float = float("inf")) -> None:
+                 capacity: int | float = float("inf"),
+                 recycle: bool = False) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.sim = sim
         self.capacity = capacity
+        self.recycle = recycle
         self.items: collections.deque = collections.deque()
         self._getters: collections.deque[Event] = collections.deque()
         self._putters: collections.deque[tuple[Event, typing.Any]] = (
@@ -44,22 +53,39 @@ class Store:
     # ------------------------------------------------------------------
     # Blocking interface
     # ------------------------------------------------------------------
+    def _event(self) -> Event:
+        if self.recycle:
+            return self.sim._acquire_event()
+        return Event(self.sim)
+
     def put(self, item: typing.Any) -> Event:
-        event = Event(self.sim)
-        if self._try_deliver_directly(item):
-            event.succeed()
-        elif not self.is_full:
-            self.items.append(item)
+        # Hand-off checks are inlined (instead of calling the private
+        # helpers) because put/get/try_put are the busiest calls in the
+        # whole simulator — one per packet per pipeline stage.
+        event = self._event()
+        items = self.items
+        if self._getters and not items:
+            getter = self._pop_live_getter()
+            if getter is not None:
+                getter.succeed(item)
+                event.succeed()
+                return event
+        if len(items) < self.capacity:
+            items.append(item)
             event.succeed()
         else:
             self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
-        event = Event(self.sim)
-        if self.items:
-            event.succeed(self.items.popleft())
-            self._admit_waiting_putter()
+        event = self._event()
+        items = self.items
+        if items:
+            event.succeed(items.popleft())
+            if self._putters and len(items) < self.capacity:
+                put_event, item = self._putters.popleft()
+                items.append(item)
+                put_event.succeed()
         else:
             self._getters.append(event)
         return event
@@ -82,35 +108,26 @@ class Store:
     # ------------------------------------------------------------------
     def try_put(self, item: typing.Any) -> bool:
         """Insert if not full.  Returns False (drop) when full."""
-        if self._try_deliver_directly(item):
-            return True
-        if self.is_full:
-            return False
-        self.items.append(item)
-        return True
-
-    def try_get(self) -> typing.Any | None:
-        """Remove and return the head item, or None when empty."""
-        if not self.items:
-            return None
-        item = self.items.popleft()
-        self._admit_waiting_putter()
-        return item
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _try_deliver_directly(self, item: typing.Any) -> bool:
-        """Hand ``item`` straight to a waiting getter, preserving FIFO."""
-        if self._getters and not self.items:
+        items = self.items
+        if self._getters and not items:
             getter = self._pop_live_getter()
             if getter is not None:
                 getter.succeed(item)
                 return True
-        return False
+        if len(items) >= self.capacity:
+            return False
+        items.append(item)
+        return True
 
-    def _admit_waiting_putter(self) -> None:
-        if self._putters and not self.is_full:
-            put_event, item = self._putters.popleft()
-            self.items.append(item)
+    def try_get(self) -> typing.Any | None:
+        """Remove and return the head item, or None when empty."""
+        items = self.items
+        if not items:
+            return None
+        item = items.popleft()
+        if self._putters and len(items) < self.capacity:
+            put_event, pending = self._putters.popleft()
+            items.append(pending)
             put_event.succeed()
+        return item
+

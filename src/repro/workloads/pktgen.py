@@ -94,6 +94,12 @@ class PktGen:
         recorder = self.per_flow_latency.get(packet.flow)
         if recorder is not None:
             recorder.record(max(0, rtt))
+        # The measurement sink is the buffer's terminal owner: once the
+        # RTT is recorded, a zero-ref pooled buffer goes back to the slab
+        # (ignored for plain heap packets and still-referenced buffers).
+        pool = packet.pool
+        if pool is not None and packet.ref_count == 0:
+            pool.reclaim(packet)
 
     def track_flow(self, flow: FiveTuple) -> LatencyRecorder:
         """Keep a separate latency series for one flow (Fig. 8)."""
@@ -106,34 +112,50 @@ class PktGen:
     # ------------------------------------------------------------------
     def add_flow(self, spec: FlowSpec) -> FlowSpec:
         """Start generating a flow; returns the (mutable) spec handle."""
-        self.sim.process(self._drive(spec))
+        # The per-flow driver is a self-rearming bare timer, not a
+        # generator process: each tick allocates a buffer from the pool,
+        # injects it, and re-arms — like a DPDK pktgen TX lane, the
+        # steady-state loop touches no Event machinery at all.
+        if spec.start_ns:
+            self.sim.call_later(0, self._start_flow, spec)
+        else:
+            self.sim.call_later(0, self._drive_tick, (spec, 0))
         return spec
 
     def stop(self) -> None:
         """Stop all generation at the current time."""
         self._stopped = True
 
-    def _drive(self, spec: FlowSpec):
-        if spec.start_ns:
-            yield self.sim.timeout(spec.start_ns)
-        sequence = 0
-        while not self._stopped:
-            now = self.sim.now
-            if spec.stop_ns is not None and now >= spec.stop_ns:
-                return
+    def _start_flow(self, spec: FlowSpec) -> None:
+        self.sim.call_later(spec.start_ns, self._drive_tick, (spec, 0))
+
+    def _drive_tick(self, state: tuple[FlowSpec, int]) -> None:
+        spec, sequence = state
+        if self._stopped:
+            return
+        now = self.sim.now
+        if spec.stop_ns is not None and now >= spec.stop_ns:
+            return
+        pool = getattr(self.host, "packet_pool", None)
+        if pool is not None:
+            packet = pool.alloc(flow=spec.flow, size=spec.packet_size,
+                                payload=spec.payload_for(sequence),
+                                created_at=now)
+        else:
             packet = Packet(flow=spec.flow, size=spec.packet_size,
                             payload=spec.payload_for(sequence),
                             created_at=now)
-            self.host.inject(self.ingress_port, packet)
-            self.sent += 1
-            self.tx_meter.record(now, spec.packet_size)
-            sequence += 1
-            mean_gap = spec.interval_ns()
-            if spec.pacing == "poisson":
-                gap = max(1, round(self._rng.exponential(mean_gap)))
-            else:
-                gap = max(1, round(mean_gap))
-            yield self.sim.timeout(gap)
+        self.host.inject(self.ingress_port, packet)
+        self.sent += 1
+        self.tx_meter.record(now, spec.packet_size)
+        # interval_ns() is recomputed every tick on purpose: rate_mbps is
+        # documented as mutable mid-run (Fig. 9 rate steps).
+        mean_gap = spec.interval_ns()
+        if spec.pacing == "poisson":
+            gap = max(1, round(self._rng.exponential(mean_gap)))
+        else:
+            gap = max(1, round(mean_gap))
+        self.sim.call_later(gap, self._drive_tick, (spec, sequence + 1))
 
     # ------------------------------------------------------------------
     def offered_gbps(self) -> float:

@@ -90,17 +90,29 @@ class FlowChurnWorkload:
         if packet.packet_id in self._second_packet_ids:
             self._second_packet_ids.discard(packet.packet_id)
             self.completed_flows += 1
+        # Measurement sink = terminal owner: zero-ref pooled buffers go
+        # back to the slab (fresh packet_ids on reuse keep the
+        # second-packet tracking sound).
+        pool = packet.pool
+        if pool is not None and packet.ref_count == 0:
+            pool.reclaim(packet)
+
+    def _alloc(self, flow: FiveTuple, size: int, payload: str) -> Packet:
+        pool = getattr(self.host, "packet_pool", None)
+        if pool is not None:
+            return pool.alloc(flow=flow, size=size, payload=payload,
+                              created_at=self.sim.now)
+        return Packet(flow=flow, size=size, payload=payload,
+                      created_at=self.sim.now)
 
     def _run(self):
         while True:
             flow = _fresh_flow()
             self.flows_started += 1
-            ack = Packet(flow=flow, size=64, payload="",
-                         created_at=self.sim.now)
+            ack = self._alloc(flow, 64, "")
             self.host.inject(self.ingress_port, ack)
-            reply = Packet(flow=flow, size=self.packet_size,
-                           payload=video_reply_payload(),
-                           created_at=self.sim.now)
+            reply = self._alloc(flow, self.packet_size,
+                                video_reply_payload())
             self._second_packet_ids.add(reply.packet_id)
             # Second packet follows shortly after the first.
             self.sim.schedule(50_000, lambda p=reply: self.host.inject(
@@ -152,6 +164,9 @@ class VideoSessionWorkload:
 
     def _on_out(self, packet: Packet) -> None:
         self.out_meter.record(self.sim.now, packet.size)
+        pool = packet.pool
+        if pool is not None and packet.ref_count == 0:
+            pool.reclaim(packet)
 
     def _interval_ns(self) -> int:
         return max(1, round(wire_bits(self.packet_size) * 1000.0
@@ -176,8 +191,15 @@ class VideoSessionWorkload:
                     payload, size = video_reply_payload(), self.packet_size
                 else:
                     payload, size = "", self.packet_size
-                packet = Packet(flow=session.flow, size=size,
-                                payload=payload, created_at=self.sim.now)
+                pool = getattr(self.host, "packet_pool", None)
+                if pool is not None:
+                    packet = pool.alloc(flow=session.flow, size=size,
+                                        payload=payload,
+                                        created_at=self.sim.now)
+                else:
+                    packet = Packet(flow=session.flow, size=size,
+                                    payload=payload,
+                                    created_at=self.sim.now)
                 self.host.inject(self.ingress_port, packet)
                 session.packets_sent += 1
                 yield self.sim.timeout(self._interval_ns())

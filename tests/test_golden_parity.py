@@ -1,0 +1,91 @@
+"""Golden parity: the pooled/slotted fast path is behaviorally invisible.
+
+Two fixed-seed Fig. 7 runs of the same workload — one with the host's
+``PacketPool`` (the default), one with pooling disabled (``pool_size=0``,
+every buffer a plain heap ``Packet``) — must be *indistinguishable* in
+everything the simulation observes: packet-for-packet delivery order,
+every latency sample, every drop counter, and the kernel's event
+odometer.  Buffer reuse may only change where bytes live, never what
+the data plane does.
+"""
+
+from repro.dataplane import NfvHost
+from repro.net import FiveTuple
+from repro.nfs import NoOpNf
+from repro.sim import MS, Simulator
+from repro.workloads import FlowSpec, PktGen
+
+from tests.conftest import install_chain
+
+WINDOW_NS = 2 * MS
+
+#: Counters allowed to differ: they *describe the pool itself*.
+POOL_KEYS = ("pool_hits", "pool_misses", "pool_exhausted")
+
+
+def run_fig7(pool_size: int):
+    """One deterministic Fig. 7-style run; returns everything observable."""
+    sim = Simulator()
+    host = NfvHost(sim, name="parity", pool_size=pool_size)
+    for service in ("noop0", "noop1"):
+        host.add_nf(NoOpNf(service), ring_slots=256)
+    install_chain(host, ["noop0", "noop1"])
+    flow = FiveTuple("10.0.0.1", "10.0.0.2", 6, 1234, 80)
+    gen = PktGen(sim, host, window_ns=MS)
+    gen.add_flow(FlowSpec(flow=flow, rate_mbps=8_000.0, packet_size=64,
+                          stop_ns=WINDOW_NS))
+
+    deliveries: list[tuple[int, int, FiveTuple]] = []
+    measured_hook = host.port("eth1").on_egress
+
+    def recording_hook(packet):
+        deliveries.append((sim.now, packet.created_at, packet.flow))
+        measured_hook(packet)
+
+    host.port("eth1").on_egress = recording_hook
+    sim.run(until=WINDOW_NS + MS)
+    return {
+        "deliveries": deliveries,
+        "latency_samples": gen.latency.samples_ns,
+        "summary": host.stats.summary(),
+        "events_scheduled": sim.events_scheduled,
+        "timers_scheduled": sim.timers_scheduled,
+        "events_cancelled": sim.events_cancelled,
+        "sent": gen.sent,
+        "received": gen.received,
+        "gbps": gen.rx_meter.mean_gbps(),
+        "pool": host.packet_pool,
+    }
+
+
+def test_pooled_run_is_event_and_stat_identical_to_unpooled():
+    pooled = run_fig7(pool_size=8192)
+    unpooled = run_fig7(pool_size=0)
+
+    # Same packets, same order, same timestamps.
+    assert pooled["deliveries"] == unpooled["deliveries"]
+    # Every RTT sample identical (jitter RNG consumed in the same order).
+    assert pooled["latency_samples"] == unpooled["latency_samples"]
+    # Same kernel work.
+    assert pooled["events_scheduled"] == unpooled["events_scheduled"]
+    assert pooled["timers_scheduled"] == unpooled["timers_scheduled"]
+    assert pooled["events_cancelled"] == unpooled["events_cancelled"]
+    # Same conservation accounting and throughput.
+    assert pooled["sent"] == unpooled["sent"]
+    assert pooled["received"] == unpooled["received"]
+    assert pooled["gbps"] == unpooled["gbps"]
+    pooled_summary = {k: v for k, v in pooled["summary"].items()
+                      if k not in POOL_KEYS}
+    unpooled_summary = {k: v for k, v in unpooled["summary"].items()
+                        if k not in POOL_KEYS}
+    assert pooled_summary == unpooled_summary
+
+    # And the pooled run really exercised the pool.
+    assert pooled["pool"] is not None
+    assert pooled["pool"].hits > 0
+    assert unpooled["pool"] is None
+    for key in POOL_KEYS:
+        assert unpooled["summary"][key] == 0
+
+    # Sanity: the workload actually moved traffic.
+    assert pooled["received"] > 1000

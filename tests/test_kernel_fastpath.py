@@ -1,0 +1,184 @@
+"""The kernel fast path: timer lane, event recycling, lazy cancellation.
+
+These lock in the zero-allocation hot-path mechanics: ``call_later``
+timers share the heap and sequence counter with the event lane (so
+timestamp tie-breaks stay globally FIFO and ``events_scheduled`` stays
+an honest odometer), ``sleep()`` wakeups are recycled through a bounded
+free list, and abandoned timeouts are discarded unprocessed instead of
+being dispatched long after anyone cares.
+"""
+
+import pytest
+
+from repro.sim import Simulator, Store
+from repro.sim.events import Event, Interrupt
+
+
+class TestTimerLane:
+    def test_call_later_fires_with_argument(self, sim):
+        seen = []
+        sim.call_later(25, seen.append, "tick")
+        sim.run()
+        assert sim.now == 25
+        assert seen == ["tick"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.call_later(-1, lambda _: None)
+
+    def test_timers_and_events_interleave_fifo(self, sim):
+        """Same-timestamp entries fire in schedule order across lanes."""
+        order = []
+        sim.timeout(10).callbacks.append(lambda e: order.append("event-a"))
+        sim.call_later(10, order.append, "timer-b")
+        sim.timeout(10).callbacks.append(lambda e: order.append("event-c"))
+        sim.call_later(10, order.append, "timer-d")
+        sim.run()
+        assert order == ["event-a", "timer-b", "event-c", "timer-d"]
+
+    def test_timers_counted_in_events_scheduled(self, sim):
+        """Satellite check: the odometer counts both lanes."""
+        before = sim.events_scheduled
+        sim.call_later(5, lambda _: None)
+        sim.call_later(7, lambda _: None)
+        sim.timeout(9)
+        assert sim.events_scheduled == before + 3
+        assert sim.timers_scheduled == 2
+
+    def test_schedule_convenience_wrapper(self, sim):
+        seen = []
+        sim.schedule(30, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [30]
+
+    def test_timer_lane_rearms_itself(self, sim):
+        """A self-rearming timer (the pktgen/NIC-drain shape)."""
+        ticks = []
+
+        def tick(count):
+            ticks.append(sim.now)
+            if count > 1:
+                sim.call_later(10, tick, count - 1)
+
+        sim.call_later(10, tick, 3)
+        sim.run()
+        assert ticks == [10, 20, 30]
+
+
+class TestEventRecycling:
+    def test_sleep_event_is_reused(self, sim):
+        """Steady-state sleeps recycle one Event object."""
+        seen = []
+
+        def sleeper():
+            for _ in range(5):
+                event = sim.sleep(10)
+                seen.append(id(event))
+                yield event
+
+        sim.process(sleeper())
+        sim.run()
+        # The in-flight event is released only after its callback (which
+        # issues the next sleep) returns, so steady state ping-pongs
+        # between exactly two recycled objects — never one per sleep.
+        assert len(set(seen)) == 2
+
+    def test_free_list_is_bounded(self, sim):
+        events = [sim.sleep(1) for _ in range(1000)]
+        assert len(events) == 1000
+        sim.run()
+        assert len(sim._event_pool) <= Simulator._EVENT_POOL_LIMIT
+
+    def test_recycled_event_resets_state(self, sim):
+        values = []
+
+        def sleeper():
+            values.append((yield sim.sleep(5)))
+            values.append((yield sim.sleep(5)))
+
+        sim.process(sleeper())
+        sim.run()
+        assert values == [None, None]
+
+    def test_negative_sleep_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.sleep(-3)
+
+    def test_recycled_store_reuses_events(self, sim):
+        store = Store(sim, recycle=True)
+        ids = set()
+
+        def producer():
+            for i in range(6):
+                yield store.put(i)
+                yield sim.sleep(1)
+
+        def consumer():
+            for _ in range(6):
+                event = store.get()
+                ids.add(id(event))
+                yield event
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        # The free list turns the churn of 6 gets into a couple of
+        # live objects, not one per get.
+        assert len(ids) < 6
+
+
+class TestLazyCancellation:
+    def test_cancelled_event_discarded_unprocessed(self, sim):
+        fired = []
+        timeout = sim.timeout(10)
+        timeout.callbacks.append(lambda e: fired.append("fired"))
+        timeout.callbacks.clear()
+        timeout.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_cancelled == 1
+
+    def test_resubscribe_uncancels(self, sim):
+        fired = []
+        timeout = sim.timeout(10)
+        timeout.cancel()
+        timeout.callbacks.append(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [10]
+        assert sim.events_cancelled == 0
+
+    def test_interrupted_waits_do_not_bloat_the_heap(self, sim):
+        """Satellite regression: many interrupted long waits (the ring
+        poll / deadline shape) are discarded, not dispatched."""
+        waiters = []
+
+        def wait_forever():
+            try:
+                yield sim.timeout(10_000_000)
+            except Interrupt:
+                pass
+
+        for _ in range(200):
+            waiters.append(sim.process(wait_forever()))
+
+        def interrupter():
+            yield sim.timeout(5)
+            for process in waiters:
+                process.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        # Every abandoned timeout was discarded unprocessed (the heap
+        # entry is popped to advance the clock, but never dispatched).
+        assert sim.events_cancelled == 200
+        assert not sim._queue
+
+    def test_anyof_deadline_pruned_after_reply_wins(self, sim):
+        reply = Event(sim)
+        deadline = sim.timeout(1_000_000)
+        race = sim.any_of([reply, deadline])
+        sim.call_later(10, lambda _: reply.succeed("ok"), None)
+        assert sim.run(until=race) == {reply: "ok"}
+        sim.run()
+        # The losing deadline was detached and lazily cancelled.
+        assert sim.events_cancelled == 1
