@@ -64,7 +64,7 @@ def main() -> None:
     sample = problem.flows[0].flow_id
     print(f"\nexample route for {sample}:")
     for position, (service, node) in enumerate(zip(
-            CHAIN, result.assignments[sample])):
+            CHAIN, result.assignments[sample], strict=True)):
         print(f"  step {position + 1}: {service} on {node} "
               f"(via {'-'.join(result.routes[sample][position])})")
 

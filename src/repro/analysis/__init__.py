@@ -1,0 +1,41 @@
+"""``repro.analysis`` — correctness tooling for the reproduction.
+
+Two layers, both born out of the hot-path work (mempools, burst rings,
+recycled kernel events, the bare timer lane) that made the data plane
+fast by making it easy to break silently:
+
+**Static** (:mod:`repro.analysis.lint`): an AST lint pass with
+repo-specific rules — no wall clock or ambient randomness inside the
+simulation, integer nanoseconds only, ``__slots__`` on hot-path
+classes, no blocking IO in NF handlers, balanced packet-buffer
+hand-offs, and no mutation of flow-table dicts while iterating.  The
+CLI lives in ``tools/sdnfv_lint.py`` and runs as a blocking CI gate;
+the repo must pass its own lint clean.
+
+**Dynamic** (:mod:`repro.analysis.ownership`): an opt-in instrumented
+mode (``NfvHost(..., verify=True)``) that wraps the packet pool, ring
+buffers, NIC ports, and flow-table writes with an ownership ledger —
+which component holds each buffer at every instant — and flags
+double-releases, use-after-release, leaked buffers, and conflicting
+flow-entry writes, closing each run with a packet-conservation audit.
+"""
+
+from repro.analysis.lint import LintViolation, lint_paths, lint_source
+from repro.analysis.ownership import (
+    HostVerifier,
+    OwnershipError,
+    OwnershipIssue,
+    OwnershipLedger,
+    VerifyReport,
+)
+
+__all__ = [
+    "HostVerifier",
+    "LintViolation",
+    "OwnershipError",
+    "OwnershipIssue",
+    "OwnershipLedger",
+    "VerifyReport",
+    "lint_paths",
+    "lint_source",
+]

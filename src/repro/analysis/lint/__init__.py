@@ -1,0 +1,24 @@
+"""AST lint pass with SDNFV-repo-specific rules (see ``rules`` module)."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import rules  # noqa: F401 - registers the rules
+from repro.analysis.lint.engine import (
+    RULES,
+    LintViolation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    suppressed_rules,
+)
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "suppressed_rules",
+]

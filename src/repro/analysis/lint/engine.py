@@ -1,0 +1,119 @@
+"""The lint engine: rule registry, suppression comments, file walking.
+
+A *rule* is a callable ``rule(tree, source_lines) -> list[LintViolation]``
+registered with :func:`register`.  The engine parses each file once,
+runs every selected rule over the tree, then filters out violations
+suppressed by an inline ``# sdnfv: noqa`` comment on the flagged line:
+
+    now = time.time()            # sdnfv: noqa SIM001  (solver telemetry)
+    anything_goes()              # sdnfv: noqa
+
+A bare ``noqa`` suppresses every rule on that line; naming one or more
+rule IDs (comma or space separated) suppresses just those.  Suppressions
+are deliberate, grep-able escape hatches — the CI gate counts on them
+being rare and justified.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+import typing
+
+#: ``# sdnfv: noqa`` with an optional rule list after it.
+_NOQA_RE = re.compile(r"#\s*sdnfv:\s*noqa\b\s*:?\s*([A-Z0-9, ]*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class LintViolation:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+
+class Rule(typing.Protocol):  # pragma: no cover - typing aid
+    rule_id: str
+    summary: str
+
+    def __call__(self, tree: ast.Module,
+                 path: str) -> list[LintViolation]: ...
+
+
+#: Registered rules, in registration order (= report order).
+RULES: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule to the registry (used as a decorator on rule objects)."""
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    RULES[rule.rule_id] = rule
+    return rule
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rule IDs a ``# sdnfv: noqa`` comment on this line suppresses.
+
+    Returns None when there is no suppression, an empty frozenset for a
+    bare ``noqa`` (suppress everything), else the named rule IDs.
+    """
+    found = _NOQA_RE.search(line)
+    if found is None:
+        return None
+    names = [name for name in re.split(r"[,\s]+", found.group(1).strip())
+             if name]
+    return frozenset(names)
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: typing.Iterable[str] | None = None
+                ) -> list[LintViolation]:
+    """Run the selected rules (default: all) over one source text."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    selected = list(RULES) if select is None else list(select)
+    violations: list[LintViolation] = []
+    for rule_id in selected:
+        violations.extend(RULES[rule_id](tree, path))
+    kept: list[LintViolation] = []
+    for violation in sorted(violations,
+                            key=lambda v: (v.line, v.col, v.rule_id)):
+        line_text = (lines[violation.line - 1]
+                     if 0 < violation.line <= len(lines) else "")
+        suppressed = suppressed_rules(line_text)
+        if suppressed is not None and (not suppressed
+                                       or violation.rule_id in suppressed):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_file(path: pathlib.Path,
+              select: typing.Iterable[str] | None = None
+              ) -> list[LintViolation]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path), select)
+
+
+def lint_paths(paths: typing.Iterable[str | pathlib.Path],
+               select: typing.Iterable[str] | None = None
+               ) -> list[LintViolation]:
+    """Lint files and directories (recursively, ``*.py`` only)."""
+    violations: list[LintViolation] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for file_path in sorted(path.rglob("*.py")):
+                violations.extend(lint_file(file_path, select))
+        else:
+            violations.extend(lint_file(path, select))
+    return violations

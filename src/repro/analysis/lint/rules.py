@@ -1,0 +1,635 @@
+"""Repo-specific lint rules for the SDNFV reproduction.
+
+Every rule exists because the hot-path design makes a specific mistake
+cheap to write and expensive to debug:
+
+- **SIM001** — wall-clock or ambient randomness breaks integer-ns
+  determinism (the whole reproduction rests on fixed-seed runs).
+- **SIM002** — float arithmetic flowing into ``*_ns`` names silently
+  de-quantizes the clock; nanoseconds are integers everywhere.
+- **SIM003** — hot-path classes (packets, descriptors, kernel events)
+  are allocated millions of times; a missing ``__slots__`` regresses
+  memory and allocation rate without failing any test.
+- **SIM004** — NF ``process``/handler bodies run inside the simulated
+  packet loop; blocking IO there stalls the *real* process mid-sim.
+- **OWN001** — every pool-allocated buffer must be handed off exactly
+  once per path (to a ring, port, caller, or ``free``/``release``);
+  unbalanced paths are leaks or double-releases.
+- **FLOW001** — flow-table-style dicts mutated while being iterated
+  (the NF/controller concurrency the paper warns about, §3.4).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import LintViolation, register
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _qualname(node: ast.AST) -> str:
+    """Dotted name of a Name/Attribute chain ('' when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _violation(path: str, node: ast.AST, rule_id: str,
+               message: str) -> LintViolation:
+    return LintViolation(path=path, line=node.lineno, col=node.col_offset,
+                         rule_id=rule_id, message=message)
+
+
+# ----------------------------------------------------------------------
+# SIM001 — no wall clock, no ambient randomness
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: datetime factory methods that read the host clock (matched on the
+#: trailing two components so both ``datetime.now`` and
+#: ``datetime.datetime.now`` are caught).
+_WALL_CLOCK_SUFFIXES = frozenset({
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: numpy.random attributes that are *constructors* for seeded streams
+#: (the blessed path via repro.sim.randomness), not ambient draws.
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "BitGenerator", "PCG64", "Philox"})
+
+
+class _Sim001:
+    rule_id = "SIM001"
+    summary = ("no wall clock or ambient randomness inside the simulation "
+               "(route through the sim clock / repro.sim.randomness)")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _qualname(node.func)
+            if not name:
+                continue
+            parts = tuple(name.split("."))
+            ambient = (
+                name in _WALL_CLOCK_CALLS
+                or parts[-2:] in _WALL_CLOCK_SUFFIXES
+                or parts[0] in ("random", "secrets")
+                and len(parts) > 1
+                or parts[:2] in (("np", "random"), ("numpy", "random"))
+                and len(parts) > 2 and parts[2] not in _NP_RANDOM_OK
+            )
+            if ambient:
+                violations.append(_violation(
+                    path, node, self.rule_id,
+                    f"ambient time/randomness call {name}(); use the sim "
+                    f"clock (sim.now) or a seeded stream from "
+                    f"repro.sim.randomness"))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# SIM002 — integer nanoseconds only
+# ----------------------------------------------------------------------
+
+_FLOAT_CALLS = frozenset({"float"})
+_FLOAT_RNG_METHODS = frozenset({
+    "exponential", "normal", "uniform", "random", "gauss", "standard_normal",
+    "mean", "average", "std", "median",
+})
+_FLOAT_MATH = frozenset({
+    "sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tan", "pow",
+    "hypot", "fsum", "dist",
+})
+_INT_CALLS = frozenset({"int", "len", "ord", "hash", "index"})
+
+
+def _maybe_float(node: ast.AST) -> bool:
+    """Whether this expression can evaluate to a float.
+
+    Conservative in the false-negative direction: unknown names and
+    calls are assumed integer, so the rule only fires on arithmetic that
+    is *visibly* float (true division, float literals, known
+    float-returning calls) and not laundered through ``int()``/
+    ``round(x)``.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _maybe_float(node.left) or _maybe_float(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _maybe_float(node.operand)
+    if isinstance(node, ast.IfExp):
+        return _maybe_float(node.body) or _maybe_float(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        return any(_maybe_float(value) for value in node.values)
+    if isinstance(node, ast.Call):
+        name = _qualname(node.func)
+        tail = name.rsplit(".", 1)[-1] if name else ""
+        if tail in _INT_CALLS:
+            return False
+        if tail == "round":
+            # round(x) is an int; round(x, ndigits) keeps the float.
+            return len(node.args) > 1 or bool(node.keywords)
+        if tail in _FLOAT_CALLS or tail in _FLOAT_MATH:
+            return True
+        if tail in _FLOAT_RNG_METHODS:
+            return True
+        if tail in ("min", "max", "abs", "sum"):
+            return any(_maybe_float(arg) for arg in node.args)
+        return False
+    return False
+
+
+def _is_float_annotation(annotation: ast.AST | None) -> bool:
+    return (isinstance(annotation, ast.Name) and annotation.id == "float") \
+        or (isinstance(annotation, ast.Constant)
+            and annotation.value == "float")
+
+
+class _Sim002:
+    rule_id = "SIM002"
+    summary = "no float arithmetic flowing into *_ns names (integer ns only)"
+
+    def _check_value(self, path: str, node: ast.AST, target_name: str,
+                     value: ast.AST | None,
+                     violations: list[LintViolation]) -> None:
+        if value is not None and _maybe_float(value):
+            violations.append(_violation(
+                path, node, self.rule_id,
+                f"float-valued expression flows into {target_name!r}; "
+                f"nanosecond quantities are integers (wrap in round()/"
+                f"int() or rename without the _ns suffix)"))
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations: list[LintViolation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _target_ns_name(target)
+                    if name:
+                        self._check_value(path, node, name, node.value,
+                                          violations)
+            elif isinstance(node, ast.AugAssign):
+                name = _target_ns_name(node.target)
+                if name:
+                    self._check_value(path, node, name, node.value,
+                                      violations)
+            elif isinstance(node, ast.AnnAssign):
+                name = _target_ns_name(node.target)
+                if name:
+                    if _is_float_annotation(node.annotation):
+                        violations.append(_violation(
+                            path, node, self.rule_id,
+                            f"{name!r} is annotated float; nanosecond "
+                            f"quantities are integers"))
+                    self._check_value(path, node, name, node.value,
+                                      violations)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.endswith("_ns"):
+                    if _is_float_annotation(node.returns):
+                        violations.append(_violation(
+                            path, node, self.rule_id,
+                            f"{node.name}() is annotated to return float; "
+                            f"*_ns functions return integer nanoseconds"))
+                    for inner in ast.walk(node):
+                        if (isinstance(inner, ast.Return)
+                                and inner.value is not None
+                                and _maybe_float(inner.value)):
+                            self._check_value(path, inner,
+                                              f"{node.name}() return",
+                                              inner.value, violations)
+                for arg, default in _args_with_defaults(node):
+                    if arg.arg.endswith("_ns"):
+                        if _is_float_annotation(arg.annotation):
+                            violations.append(_violation(
+                                path, arg, self.rule_id,
+                                f"parameter {arg.arg!r} is annotated "
+                                f"float; nanosecond quantities are "
+                                f"integers"))
+                        self._check_value(path, arg, arg.arg, default,
+                                          violations)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg and keyword.arg.endswith("_ns"):
+                        self._check_value(path, keyword.value, keyword.arg,
+                                          keyword.value, violations)
+        return violations
+
+
+def _target_ns_name(target: ast.AST) -> str | None:
+    if isinstance(target, ast.Name) and target.id.endswith("_ns"):
+        return target.id
+    if isinstance(target, ast.Attribute) and target.attr.endswith("_ns"):
+        return target.attr
+    return None
+
+
+def _args_with_defaults(node: ast.FunctionDef | ast.AsyncFunctionDef):
+    args = node.args
+    every = args.posonlyargs + args.args
+    defaults: list[ast.AST | None] = [None] * (len(every)
+                                               - len(args.defaults))
+    defaults += list(args.defaults)
+    yield from zip(every, defaults, strict=True)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults, strict=True):
+        yield arg, default
+
+
+# ----------------------------------------------------------------------
+# SIM003 — hot-path classes declare __slots__
+# ----------------------------------------------------------------------
+
+#: Classes reachable from the per-packet loop: allocated (or recycled)
+#: once per packet / descriptor / kernel event.  Ring *containers*
+#: (RingBuffer, NicPort, PacketPool, NfManager) are deliberately absent:
+#: they are few per host and stay open for instance-level instrumentation
+#: (the ownership verifier wraps their bound methods).
+HOT_PATH_CLASSES = frozenset({
+    "Packet", "PacketDescriptor", "FiveTuple", "Event", "Timeout",
+    "Process", "_Condition", "AnyOf", "AllOf", "Store",
+})
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = _qualname(decorator.func)
+            if name.rsplit(".", 1)[-1] == "dataclass":
+                for keyword in decorator.keywords:
+                    if (keyword.arg == "slots"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True):
+                        return True
+    return False
+
+
+class _Sim003:
+    rule_id = "SIM003"
+    summary = "hot-path classes (per-packet objects) must declare __slots__"
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations = []
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.ClassDef)
+                    and node.name in HOT_PATH_CLASSES
+                    and not _declares_slots(node)):
+                violations.append(_violation(
+                    path, node, self.rule_id,
+                    f"hot-path class {node.name!r} does not declare "
+                    f"__slots__ (allocated per packet/event; dict "
+                    f"instances regress the zero-allocation fast path)"))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# SIM004 — no blocking / IO calls inside NF handler bodies
+# ----------------------------------------------------------------------
+
+_NF_HANDLER_METHODS = frozenset({
+    "process", "handle_packet", "processing_cost_ns", "on_register",
+})
+_BLOCKING_BARE = frozenset({"open", "input", "print", "breakpoint",
+                            "exec", "eval", "compile"})
+_BLOCKING_EXACT = frozenset({"time.sleep", "os.system", "os.popen",
+                             "os.fork", "os.wait"})
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "requests.", "urllib.",
+                      "http.", "shutil.")
+
+
+def _is_nf_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = _qualname(base)
+        tail = name.rsplit(".", 1)[-1]
+        if "NetworkFunction" in tail or tail.endswith("Nf"):
+            return True
+    return False
+
+
+class _Sim004:
+    rule_id = "SIM004"
+    summary = "no blocking/IO calls inside NF process/handler bodies"
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.ClassDef) and _is_nf_class(node)):
+                continue
+            for method in node.body:
+                if not (isinstance(method, ast.FunctionDef)
+                        and method.name in _NF_HANDLER_METHODS):
+                    continue
+                for inner in ast.walk(method):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    name = _qualname(inner.func)
+                    if (name in _BLOCKING_BARE or name in _BLOCKING_EXACT
+                            or name.startswith(_BLOCKING_PREFIXES)):
+                        violations.append(_violation(
+                            path, inner, self.rule_id,
+                            f"blocking/IO call {name}() inside NF handler "
+                            f"{node.name}.{method.name}; NF bodies run in "
+                            f"the simulated packet loop — model the cost "
+                            f"via processing_cost_ns instead"))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# OWN001 — pool allocations are handed off exactly once per path
+# ----------------------------------------------------------------------
+
+_RELEASE_METHODS = frozenset({"free", "release"})
+
+#: Hand-off counts are capped here: anything >= 2 is already a bug.
+_MANY = 2
+
+
+def _lambda_captures(node: ast.Lambda, var: str) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and inner.id == var:
+            return True
+    return False
+
+
+def _handoffs_in_expr(node: ast.AST | None, var: str) -> int:
+    """How many times ``var``'s buffer escapes in this expression.
+
+    An escape is: being passed as a call argument, returned/yielded,
+    stored somewhere, captured by a closure, or an explicit
+    ``var.free()`` / ``var.release()``.  Plain reads (``var.field``,
+    comparisons, boolean tests) do not count.
+    """
+    if node is None:
+        return 0
+    if isinstance(node, ast.Name):
+        return 1 if node.id == var else 0
+    if isinstance(node, ast.Attribute):
+        return 0  # field/method read, not an escape
+    if isinstance(node, (ast.Compare, ast.BoolOp)):
+        return 0  # truth-value reads
+    if isinstance(node, ast.Lambda):
+        captured = _lambda_captures(node, var)
+        captured = captured or any(_handoffs_in_expr(default, var)
+                                   for default in node.args.defaults)
+        return 1 if captured else 0
+    if isinstance(node, ast.Call):
+        count = 0
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name) and func.value.id == var):
+                if func.attr in _RELEASE_METHODS:
+                    count += 1
+                # other var.method() calls are reads on the buffer
+            else:
+                count += _handoffs_in_expr(func.value, var)
+        for arg in node.args:
+            count += _handoffs_in_expr(arg, var)
+        for keyword in node.keywords:
+            count += _handoffs_in_expr(keyword.value, var)
+        return count
+    if isinstance(node, ast.Subscript):
+        return _handoffs_in_expr(node.value, var)
+    if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+        return 0
+    if isinstance(node, ast.Yield):
+        return _handoffs_in_expr(node.value, var)
+    count = 0
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            count += _handoffs_in_expr(child, var)
+    return count
+
+
+def _is_pool_alloc(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("alloc", "_alloc")
+    return isinstance(func, ast.Name) and func.id in ("alloc", "_alloc")
+
+
+class _Own001:
+    rule_id = "OWN001"
+    summary = ("every PacketPool allocation is handed off exactly once per "
+               "path (ring/port/caller or free/release)")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations: list[LintViolation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node, path, violations)
+        return violations
+
+    def _check_function(self, fn, path: str,
+                        violations: list[LintViolation]) -> None:
+        allocs: dict[str, ast.AST] = {}
+        exit_env, finished = self._walk(fn.body, {}, allocs)
+        for env in [*finished, exit_env]:
+            for var, counts in env.items():
+                if 0 in counts:
+                    violations.append(_violation(
+                        path, allocs[var], self.rule_id,
+                        f"buffer {var!r} from pool alloc may leak: some "
+                        f"path through {fn.name}() neither hands it off "
+                        f"nor frees it"))
+                if any(count >= _MANY for count in counts):
+                    violations.append(_violation(
+                        path, allocs[var], self.rule_id,
+                        f"buffer {var!r} from pool alloc may be handed "
+                        f"off/released more than once on a path through "
+                        f"{fn.name}()"))
+
+    # -- tiny path-sensitive walker ----------------------------------
+    # env: var -> set of hand-off counts reachable on live paths.
+    def _walk(self, statements, env, allocs):
+        env = {var: set(counts) for var, counts in env.items()}
+        finished: list[dict] = []
+
+        def bump(expressions) -> None:
+            for var in list(env):
+                hit = sum(_handoffs_in_expr(expr, var)
+                          for expr in expressions)
+                if hit:
+                    env[var] = {min(count + hit, _MANY)
+                                for count in env[var]}
+
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                bump([statement.value])
+                if (_is_pool_alloc(statement.value)
+                        and len(statement.targets) == 1
+                        and isinstance(statement.targets[0], ast.Name)):
+                    name = statement.targets[0].id
+                    allocs[name] = statement
+                    env[name] = {0}
+            elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+                bump([statement.value])
+            elif isinstance(statement, ast.Expr):
+                bump([statement.value])
+            elif isinstance(statement, ast.Return):
+                bump([statement.value])
+                finished.append(dict(env))
+                return {}, finished
+            elif isinstance(statement, ast.Raise):
+                # Error path: ownership obligations void (caller unwinds).
+                return {}, finished
+            elif isinstance(statement, ast.If):
+                then_env, then_done = self._walk(statement.body, env,
+                                                 allocs)
+                else_env, else_done = self._walk(statement.orelse, env,
+                                                 allocs)
+                finished.extend(then_done)
+                finished.extend(else_done)
+                env = _merge(then_env, else_env)
+            elif isinstance(statement, (ast.For, ast.While)):
+                body_env, body_done = self._walk(statement.body, env,
+                                                 allocs)
+                finished.extend(body_done)
+                # 0-or-1 iterations: enough to catch straight-line bugs
+                # without modeling loop fixpoints.
+                env = _merge(env, body_env)
+            elif isinstance(statement, ast.Try):
+                ok_env, ok_done = self._walk(
+                    statement.body + statement.orelse
+                    + statement.finalbody, env, allocs)
+                finished.extend(ok_done)
+                merged = ok_env
+                for handler in statement.handlers:
+                    handler_env, handler_done = self._walk(
+                        handler.body + statement.finalbody, env, allocs)
+                    finished.extend(handler_done)
+                    merged = _merge(merged, handler_env)
+                env = merged
+            elif isinstance(statement, ast.With):
+                bump([item.context_expr for item in statement.items])
+                env, with_done = self._walk(statement.body, env, allocs)
+                finished.extend(with_done)
+            elif isinstance(statement,
+                            (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function capturing the buffer is an escape.
+                for var in list(env):
+                    for inner in ast.walk(statement):
+                        if (isinstance(inner, ast.Name)
+                                and inner.id == var):
+                            env[var] = {min(count + 1, _MANY)
+                                        for count in env[var]}
+                            break
+            # other statements (pass, imports, etc.): no effect
+        return env, finished
+
+
+def _merge(left: dict, right: dict) -> dict:
+    merged = {var: set(counts) for var, counts in left.items()}
+    for var, counts in right.items():
+        merged.setdefault(var, set()).update(counts)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — no mutation of a dict while iterating it
+# ----------------------------------------------------------------------
+
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
+_MUTATORS = frozenset({
+    "pop", "popitem", "clear", "update", "setdefault", "add", "remove",
+    "discard", "append", "extend", "insert",
+})
+_SNAPSHOT_CALLS = frozenset({"list", "tuple", "sorted", "set", "dict"})
+
+
+def _iteration_base(iter_node: ast.AST) -> ast.AST | None:
+    """The container being iterated directly (None when snapshotted)."""
+    if isinstance(iter_node, ast.Call):
+        name = _qualname(iter_node.func)
+        if name in _SNAPSHOT_CALLS:
+            return None
+        func = iter_node.func
+        if (isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS
+                and isinstance(func.value, (ast.Name, ast.Attribute))):
+            return func.value
+        return None
+    if isinstance(iter_node, (ast.Name, ast.Attribute)):
+        return iter_node
+    return None
+
+
+class _Flow001:
+    rule_id = "FLOW001"
+    summary = "no mutation of a dict/container while iterating it"
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            base = _iteration_base(node.iter)
+            if base is None:
+                continue
+            base_text = ast.unparse(base)
+            for inner in ast.walk(node):
+                if inner is node.iter:
+                    continue
+                if self._mutates(inner, base_text):
+                    violations.append(_violation(
+                        path, inner, self.rule_id,
+                        f"{base_text!r} is mutated while being iterated "
+                        f"(line {node.lineno}); iterate over "
+                        f"list({base_text}...) instead"))
+        return violations
+
+    @staticmethod
+    def _mutates(node: ast.AST, base_text: str) -> bool:
+        if isinstance(node, ast.Call):
+            func = node.func
+            return (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and ast.unparse(func.value) == base_text)
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            return any(isinstance(target, ast.Subscript)
+                       and ast.unparse(target.value) == base_text
+                       for target in targets)
+        if isinstance(node, ast.Delete):
+            return any(isinstance(target, ast.Subscript)
+                       and ast.unparse(target.value) == base_text
+                       for target in node.targets)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Registration (import order = report order)
+# ----------------------------------------------------------------------
+SIM001 = register(_Sim001())
+SIM002 = register(_Sim002())
+SIM003 = register(_Sim003())
+SIM004 = register(_Sim004())
+OWN001 = register(_Own001())
+FLOW001 = register(_Flow001())

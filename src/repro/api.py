@@ -91,6 +91,10 @@ from repro.faults import (
 from repro.metrics.eventlog import EventLog
 from repro.workloads import FlowSpec, PktGen
 
+# Correctness tooling (the dynamic layer of repro.analysis; the static
+# lint layer is the `tools/sdnfv_lint.py` CLI, not a library API)
+from repro.analysis import HostVerifier, OwnershipError, VerifyReport
+
 __all__ = [
     # kernel
     "AllOf",
@@ -159,4 +163,8 @@ __all__ = [
     "EventLog",
     "FlowSpec",
     "PktGen",
+    # correctness tooling
+    "HostVerifier",
+    "OwnershipError",
+    "VerifyReport",
 ]

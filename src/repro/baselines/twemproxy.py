@@ -28,12 +28,12 @@ class TwemproxyCosts:
 
     interrupt_ns: int = 2_500          # NIC interrupt + softirq
     syscall_pair_ns: int = 2_000       # recvfrom + sendto
-    copy_per_byte_ns: float = 0.45     # kernel<->user, both directions
+    copy_ns_per_byte: float = 0.45     # kernel<->user, both directions
     parse_and_hash_ns: int = 1_500     # twemproxy request handling
     server_side_socket_ns: int = 4_800  # separate server connection legs
 
     def service_ns(self, request_bytes: int = 96) -> int:
-        copies = round(2 * request_bytes * self.copy_per_byte_ns)
+        copies = round(2 * request_bytes * self.copy_ns_per_byte)
         return (self.interrupt_ns + self.syscall_pair_ns + copies
                 + self.parse_and_hash_ns + self.server_side_socket_ns)
 
@@ -63,8 +63,8 @@ class TwemproxyModel:
         if rate_rps < 0:
             raise ValueError("rate must be non-negative")
         rho = min(rate_rps / self.capacity_rps, 0.995)
-        wait_ns = rho * self.service_ns / (1 - rho)
-        return (self.server_rtt_ns + self.service_ns + wait_ns) / US
+        queue_wait = rho * self.service_ns / (1 - rho)
+        return (self.server_rtt_ns + self.service_ns + queue_wait) / US
 
 
 class TwemproxySim:
@@ -90,12 +90,12 @@ class TwemproxySim:
 
     def drive(self, rate_rps: float, duration_ns: int):
         """A generator process offering Poisson traffic at ``rate_rps``."""
-        gap_ns = 1e9 / rate_rps
+        mean_gap = 1e9 / rate_rps
         deadline = self.sim.now + duration_ns
         while self.sim.now < deadline:
             self.offer()
             yield self.sim.timeout(
-                max(1, round(self._rng.exponential(gap_ns))))
+                max(1, round(self._rng.exponential(mean_gap))))
 
     def _loop(self):
         while True:

@@ -316,7 +316,7 @@ class SdnfvApp:
             interval_ns: int = 10_000_000,
             heartbeat_timeout_ns: int = 50_000_000,
             mode: str = "standby_process",
-            max_respawns: int = 8) -> "NfWatchdog":
+            max_respawns: int = 8) -> NfWatchdog:
         """Detect dead or wedged NFs on ``host`` and replace them.
 
         Starts an :class:`~repro.faults.watchdog.NfWatchdog` on the

@@ -45,7 +45,7 @@ class DivisionSolver:
                                mip_rel_gap=mip_rel_gap)
 
     def solve(self, problem: PlacementProblem) -> PlacementResult:
-        started = time.monotonic()
+        started = time.monotonic()  # sdnfv: noqa SIM001 (solver wall time, not sim time)
         residual = ResidualState.fresh(problem)
         instances: dict[tuple[str, str], int] = {}
         assignments: dict[str, list[str]] = {}
@@ -78,7 +78,8 @@ class DivisionSolver:
             placed_flows=placed, rejected_flows=rejected,
             max_link_utilization=max_link,
             max_core_utilization=max_core,
-            solve_time_s=time.monotonic() - started, solver=self.name)
+            solve_time_s=time.monotonic() - started,  # sdnfv: noqa SIM001
+            solver=self.name)
 
     # ------------------------------------------------------------------
     def _solve_batch(self, problem: PlacementProblem,
@@ -114,7 +115,7 @@ class DivisionSolver:
             assignments[flow_id] = nodes
             placed.append(flow_id)
             chain = flows_by_id[flow_id].chain
-            for service, node in zip(chain, nodes):
+            for service, node in zip(chain, nodes, strict=True):
                 key = (node, service)
                 residual.existing_slots[key] -= 1
                 assert residual.existing_slots[key] >= 0
@@ -124,7 +125,7 @@ class DivisionSolver:
             routes[flow_id] = segments
             bandwidth = flows_by_id[flow_id].bandwidth_gbps
             for path in segments:
-                for a, b in zip(path, path[1:]):
+                for a, b in zip(path, path[1:], strict=False):
                     key = frozenset((a, b))
                     residual.prior_link_gbps[key] = (
                         residual.prior_link_gbps.get(key, 0.0) + bandwidth)

@@ -38,7 +38,7 @@ class GreedySolver:
         self.enforce_link_capacity = enforce_link_capacity
 
     def solve(self, problem: PlacementProblem) -> PlacementResult:
-        started = time.monotonic()
+        started = time.monotonic()  # sdnfv: noqa SIM001 (solver wall time, not sim time)
         topology = problem.topology
         nodes = {name: _NodeState(free_cores=topology.node(name).cores)
                  for name in topology.node_names}
@@ -70,7 +70,8 @@ class GreedySolver:
             instances=instances, assignments=assignments, routes=routes,
             placed_flows=placed, rejected_flows=rejected,
             max_link_utilization=max_link, max_core_utilization=max_core,
-            solve_time_s=time.monotonic() - started, solver=self.name)
+            solve_time_s=time.monotonic() - started,  # sdnfv: noqa SIM001
+            solver=self.name)
 
     # ------------------------------------------------------------------
     def _place_flow(self, problem: PlacementProblem, flow: FlowRequest,
@@ -148,7 +149,7 @@ class GreedySolver:
                      chosen: list[str]) -> list[list[str]]:
         waypoints = [flow.entry, *chosen, flow.exit]
         return [topology.shortest_path(a, b)
-                for a, b in zip(waypoints, waypoints[1:])]
+                for a, b in zip(waypoints, waypoints[1:], strict=False)]
 
     @staticmethod
     def _admit_links(topology, segments: list[list[str]],
@@ -156,7 +157,7 @@ class GreedySolver:
                      link_load: dict[frozenset, float]) -> bool:
         needed: dict[frozenset, float] = {}
         for path in segments:
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 key = frozenset((a, b))
                 needed[key] = needed.get(key, 0.0) + bandwidth
         for key, extra in needed.items():

@@ -47,7 +47,7 @@ class ResidualState:
     prior_link_gbps: dict[frozenset, float]
 
     @classmethod
-    def fresh(cls, problem: PlacementProblem) -> "ResidualState":
+    def fresh(cls, problem: PlacementProblem) -> ResidualState:
         return cls(
             residual_cores={name: problem.topology.node(name).cores
                             for name in problem.topology.node_names},
@@ -76,7 +76,7 @@ class MilpSolver:
     def solve(self, problem: PlacementProblem,
               residual: ResidualState | None = None) -> PlacementResult:
         """Solve; raises InfeasiblePlacement when flows cannot fit."""
-        started = time.monotonic()
+        started = time.monotonic()  # sdnfv: noqa SIM001 (solver wall time, not sim time)
         build = _ModelBuilder(problem, residual
                               or ResidualState.fresh(problem))
         model = build.build()
@@ -107,7 +107,7 @@ class MilpSolver:
             rejected_flows=[],
             max_link_utilization=max_link,
             max_core_utilization=max_core,
-            solve_time_s=time.monotonic() - started,
+            solve_time_s=time.monotonic() - started,  # sdnfv: noqa SIM001
             solver=self.name)
 
 

@@ -112,7 +112,7 @@ class PlacementResult:
             raise KeyError(f"flow {flow.flow_id!r} was not placed")
         nodes = self.assignments[flow.flow_id]
         mapping: dict[str, str] = {}
-        for service, node in zip(flow.chain, nodes):
+        for service, node in zip(flow.chain, nodes, strict=True):
             existing = mapping.get(service)
             if existing is not None and existing != node:
                 raise ValueError(
@@ -142,7 +142,7 @@ def compute_utilizations(
     for flow_id, segments in routes.items():
         bandwidth = flows_by_id[flow_id].bandwidth_gbps
         for path in segments:
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 key = frozenset((a, b))
                 link_bits[key] = link_bits.get(key, 0.0) + bandwidth
     per_link: dict[frozenset, float] = {}
@@ -153,7 +153,7 @@ def compute_utilizations(
     loads: dict[tuple[str, str], int] = {}
     for flow_id, nodes in assignments.items():
         chain = flows_by_id[flow_id].chain
-        for service, node in zip(chain, nodes):
+        for service, node in zip(chain, nodes, strict=True):
             loads[(node, service)] = loads.get((node, service), 0) + 1
     per_core: dict[tuple[str, str], float] = {}
     for (node, service), load in loads.items():

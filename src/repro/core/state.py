@@ -84,7 +84,7 @@ class HierarchySnapshot:
     deployments: list[str]
 
     @classmethod
-    def gather(cls, app: "SdnfvApp") -> "HierarchySnapshot":
+    def gather(cls, app: SdnfvApp) -> HierarchySnapshot:
         hosts = {}
         for name, host in app.hosts.items():
             manager = host.manager

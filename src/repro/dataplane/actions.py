@@ -42,7 +42,7 @@ class Drop:
         return "drop"
 
 
-Destination = typing.Union[ToService, ToPort, Drop]
+Destination = ToService | ToPort | Drop
 
 
 class NfVerdict(enum.Enum):
@@ -67,19 +67,19 @@ class Verdict:
             raise ValueError(f"{self.kind} verdict takes no destination")
 
     @classmethod
-    def discard(cls) -> "Verdict":
+    def discard(cls) -> Verdict:
         return cls(NfVerdict.DISCARD)
 
     @classmethod
-    def default(cls) -> "Verdict":
+    def default(cls) -> Verdict:
         return cls(NfVerdict.DEFAULT)
 
     @classmethod
-    def send_to_service(cls, service_id: str) -> "Verdict":
+    def send_to_service(cls, service_id: str) -> Verdict:
         return cls(NfVerdict.SEND, ToService(service_id))
 
     @classmethod
-    def send_to_port(cls, port: str) -> "Verdict":
+    def send_to_port(cls, port: str) -> Verdict:
         return cls(NfVerdict.SEND, ToPort(port))
 
 

@@ -36,14 +36,14 @@ class PacketDescriptor:
     packet: Packet
     scope: str
     verdict: Verdict | None = None
-    cached_entry: "FlowTableEntry | None" = None
+    cached_entry: FlowTableEntry | None = None
     cached_generation: int = -1
     group_id: int | None = None
     group_index: int = 0
     vm_priority: int = 0
     ingress_at: int = 0
 
-    def cache_lookup(self, entry: "FlowTableEntry",
+    def cache_lookup(self, entry: FlowTableEntry,
                      generation: int) -> None:
         """Record a lookup result for downstream threads."""
         self.cached_entry = entry
@@ -55,7 +55,7 @@ class PacketDescriptor:
                 and self.cached_generation == generation)
 
     def fork(self, scope: str, group_id: int,
-             group_index: int) -> "PacketDescriptor":
+             group_index: int) -> PacketDescriptor:
         """A parallel-group copy referencing the same packet buffer."""
         return PacketDescriptor(
             packet=self.packet,
@@ -68,7 +68,7 @@ class PacketDescriptor:
         )
 
     def reset(self, packet: Packet, scope: str,
-              ingress_at: int) -> "PacketDescriptor":
+              ingress_at: int) -> PacketDescriptor:
         """Rewind a retired descriptor for reuse from a free list."""
         self.packet = packet
         self.scope = scope

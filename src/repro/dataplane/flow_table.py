@@ -69,7 +69,7 @@ class FlowTableEntry:
         """Whether an NF may Send-to this destination under this rule."""
         return destination in self.actions or isinstance(destination, Drop)
 
-    def with_default(self, destination: Destination) -> "FlowTableEntry":
+    def with_default(self, destination: Destination) -> FlowTableEntry:
         """A copy whose default action is ``destination``.
 
         The destination is moved to the front if already allowed, prepended

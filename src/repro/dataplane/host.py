@@ -44,7 +44,8 @@ class NfvHost:
                  miss_fallback: Destination | None = None,
                  burst_size: int = DEFAULT_BURST_SIZE,
                  pool_size: int = DEFAULT_POOL_SIZE,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 verify: bool = False) -> None:
         self.sim = sim
         self.name = name
         self.manager = NfManager(
@@ -56,6 +57,15 @@ class NfvHost:
             streams=RandomStreams(seed=seed))
         for port_name in ports:
             self.manager.add_port(port_name, line_rate_gbps=line_rate_gbps)
+        # Opt-in ownership verification (repro.analysis.ownership): when
+        # off — the default — no wrapper exists and the data plane runs
+        # the exact unmodified class methods (zero overhead, see the
+        # verify-parity tests).  Imported lazily so the fast path never
+        # even loads the analysis package.
+        self.verifier = None
+        if verify:
+            from repro.analysis.ownership import HostVerifier
+            self.verifier = HostVerifier(self)
 
     # ------------------------------------------------------------------
     # Pass-throughs

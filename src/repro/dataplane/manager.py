@@ -719,7 +719,8 @@ class NfManager:
         replicas = self.vms_by_service.get(destination.service_id, ())
         if not replicas:
             self.stats.dropped_no_vm += 1
-            self._release(descriptor.packet)
+            if not self._group_member_lost(descriptor):
+                self._release(descriptor.packet)
             self._desc_free(descriptor)
             return 0
         balancer = self._balancers[destination.service_id]
@@ -727,7 +728,8 @@ class NfManager:
         self.stats.record_service(destination.service_id)
         if not vm.rx_ring.try_enqueue(descriptor):
             self.stats.dropped_ring_full += 1
-            self._release(descriptor.packet)
+            if not self._group_member_lost(descriptor):
+                self._release(descriptor.packet)
             self._desc_free(descriptor)
         return scan_cost
 
@@ -791,7 +793,8 @@ class NfManager:
         accepted = queue.enqueue_burst(descriptors)
         for descriptor in descriptors[accepted:]:
             self.stats.dropped_ring_full += 1
-            self._release(descriptor.packet)
+            if not self._group_member_lost(descriptor):
+                self._release(descriptor.packet)
             self._desc_free(descriptor)
 
     def _tx_loop(self, queue: RingBuffer):
@@ -869,6 +872,44 @@ class NfManager:
         count = len(group.verdicts)
         self._desc_free(descriptor)
         return merged, count
+
+    def _group_member_lost(self, descriptor: PacketDescriptor) -> bool:
+        """Account for a parallel-group member dying after dispatch.
+
+        Every post-dispatch loss path (TX ring overflow, a drop verdict,
+        a VM crash with the member in flight) must run group bookkeeping,
+        or the group can never complete: its ``_groups`` entry leaks and
+        — worse — the surviving members' verdicts are thrown away even
+        though their NFs processed the packet successfully.
+
+        When the lost member was the *last* straggler (every survivor
+        already reported), the group is finalized here, and the merged
+        descriptor reuses the lost member's packet reference — by this
+        point the survivors have all dropped theirs, so releasing it
+        instead would hand the merge a reclaimed buffer.  Returns True
+        exactly when that reference was consumed; the caller must then
+        skip its own release.
+        """
+        group_id = descriptor.group_id
+        if group_id is None:
+            return False
+        group = self._groups.get(group_id)
+        if group is None:
+            return False
+        if group.member_lost():
+            del self._groups[group_id]
+            verdict = resolve_parallel_verdicts(
+                group.verdicts, policy=self.conflict_policy)
+            merged = self._desc_alloc(descriptor.packet, group.exit_scope,
+                                      descriptor.ingress_at)
+            merged.verdict = verdict
+            entry, _cost = self._classify(merged)
+            self._resolve_verdict(merged, entry)
+            return True
+        if group.expected <= 0:
+            # Every member died before any verdict: nothing to merge.
+            del self._groups[group_id]
+        return False
 
     def _resolve_verdict(self, descriptor: PacketDescriptor,
                          entry: FlowTableEntry | None) -> int:
@@ -1165,7 +1206,8 @@ class NfManager:
 
     def _drop(self, descriptor: PacketDescriptor, counter: str) -> None:
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
-        self._release(descriptor.packet)
+        if not self._group_member_lost(descriptor):
+            self._release(descriptor.packet)
         self._desc_free(descriptor)
 
     @staticmethod

@@ -24,7 +24,7 @@ DEFAULT_RING_SLOTS = 512
 class RingBuffer:
     """A bounded descriptor queue with drop-on-full producer semantics."""
 
-    def __init__(self, sim: "Simulator", name: str,
+    def __init__(self, sim: Simulator, name: str,
                  slots: int = DEFAULT_RING_SLOTS) -> None:
         if slots <= 0:
             raise ValueError("ring must have at least one slot")

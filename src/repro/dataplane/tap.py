@@ -56,7 +56,7 @@ class PacketTap:
     # ------------------------------------------------------------------
     @classmethod
     def on_egress(cls, sim: Simulator, host: NfvHost,
-                  port_name: str, **kw: typing.Any) -> "PacketTap":
+                  port_name: str, **kw: typing.Any) -> PacketTap:
         """Tap a port's egress, chaining any existing observer."""
         tap = cls(sim, name=f"{host.name}:{port_name}/egress", **kw)
         port = host.port(port_name)
@@ -72,7 +72,7 @@ class PacketTap:
 
     @classmethod
     def on_ingress(cls, sim: Simulator, host: NfvHost,
-                   port_name: str, **kw: typing.Any) -> "PacketTap":
+                   port_name: str, **kw: typing.Any) -> PacketTap:
         """Tap frames *accepted* into a port's RX ring."""
         tap = cls(sim, name=f"{host.name}:{port_name}/ingress", **kw)
         port = host.port(port_name)

@@ -35,7 +35,7 @@ _vm_ids = itertools.count()
 class NfVm:
     """One VM thread hosting a network function."""
 
-    def __init__(self, manager: "NfManager", nf: NetworkFunction,
+    def __init__(self, manager: NfManager, nf: NetworkFunction,
                  ring_slots: int = DEFAULT_RING_SLOTS,
                  priority: int = 0) -> None:
         self.manager = manager
@@ -214,11 +214,18 @@ class NfVm:
         self.failure_cause = cause
         self._hung = False
         if self.inflight is not None:
-            # The packet the NF was holding dies with it.
+            # The packet the NF was holding dies with it.  A parallel-
+            # group member must run group bookkeeping first: when every
+            # other member already reported, the merge consumes this
+            # reference and the buffer lives on — freeing it here would
+            # be the use-after-release the ownership verifier exists to
+            # catch.
+            descriptor, self.inflight = self.inflight, None
             self.packets_lost += 1
             self.manager.stats.lost_in_nf += 1
-            self.inflight.packet.free()
-            self.inflight = None
+            if not self.manager._group_member_lost(descriptor):
+                descriptor.packet.free()
+            self.manager._desc_free(descriptor)
 
     def __repr__(self) -> str:
         state = " FAILED" if self.failed else ""

@@ -110,7 +110,7 @@ class FaultPlan:
         self.faults.append(fault)
         return fault
 
-    def extend(self, faults: typing.Iterable[Fault]) -> "FaultPlan":
+    def extend(self, faults: typing.Iterable[Fault]) -> FaultPlan:
         for fault in faults:
             self.add(fault)
         return self

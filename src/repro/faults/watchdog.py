@@ -96,7 +96,7 @@ class NfWatchdog:
         self._pending: dict[str, FailureRecord] = {}
         self._started = False
 
-    def start(self) -> "NfWatchdog":
+    def start(self) -> NfWatchdog:
         """Begin periodic sweeps (opt-in, like the overload monitor)."""
         if self._started:
             raise RuntimeError("watchdog already started")

@@ -51,10 +51,10 @@ class LatencyRecorder:
         data = np.sort(self._require_samples()) / US
         fractions = np.arange(1, len(data) + 1) / len(data)
         if len(data) <= points:
-            return list(zip(data.tolist(), fractions.tolist()))
+            return list(zip(data.tolist(), fractions.tolist(), strict=True))
         indices = np.linspace(0, len(data) - 1, points).astype(int)
         return list(zip(data[indices].tolist(),
-                        fractions[indices].tolist()))
+                        fractions[indices].tolist(), strict=True))
 
     def summary(self) -> dict[str, float]:
         return {

@@ -17,7 +17,7 @@ def comparison_table(title: str,
 
     def fmt(cells: typing.Sequence[str]) -> str:
         return "  ".join(str(cell).ljust(width)
-                         for cell, width in zip(cells, widths))
+                         for cell, width in zip(cells, widths, strict=True))
 
     lines = [f"== {title} ==", fmt(headers),
              fmt(["-" * width for width in widths])]
@@ -26,7 +26,7 @@ def comparison_table(title: str,
 
 
 def counters_table(title: str,
-                   counters: dict[str, typing.Union[int, float]],
+                   counters: dict[str, int | float],
                    float_format: str = "{:.3f}") -> str:
     """Two-column name/value table for counter dumps.
 
@@ -73,9 +73,9 @@ def series_table(title: str, columns: dict[str, typing.Sequence],
               for index, name in enumerate(names)]
     lines = [f"== {title} ==",
              "  ".join(name.ljust(width)
-                       for name, width in zip(names, widths)),
+                       for name, width in zip(names, widths, strict=True)),
              "  ".join("-" * width for width in widths)]
     for row in cells:
         lines.append("  ".join(cell.rjust(width)
-                               for cell, width in zip(row, widths)))
+                               for cell, width in zip(row, widths, strict=True)))
     return "\n".join(lines)

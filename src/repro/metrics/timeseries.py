@@ -26,7 +26,7 @@ class TimeSeries:
 
     def points(self) -> list[tuple[float, float]]:
         """(seconds, value) pairs."""
-        return [(t / S, v) for t, v in zip(self._times, self._values)]
+        return [(t / S, v) for t, v in zip(self._times, self._values, strict=True)]
 
     def value_at(self, now_ns: int) -> float:
         """Step interpolation: the last value at or before ``now_ns``."""

@@ -67,7 +67,7 @@ class FiveTuple:
             object.__setattr__(self, "_int_key", key)
         return key
 
-    def reversed(self) -> "FiveTuple":
+    def reversed(self) -> FiveTuple:
         """The reverse direction of this flow (for replies)."""
         return FiveTuple(src_ip=self.dst_ip, dst_ip=self.src_ip,
                          protocol=self.protocol, src_port=self.dst_port,
@@ -115,14 +115,14 @@ class FlowMatch:
             raise ValueError("src_prefix_bits needs src_ip")
 
     @classmethod
-    def exact(cls, flow: FiveTuple) -> "FlowMatch":
+    def exact(cls, flow: FiveTuple) -> FlowMatch:
         """An exact match for one flow."""
         return cls(src_ip=flow.src_ip, dst_ip=flow.dst_ip,
                    protocol=flow.protocol, src_port=flow.src_port,
                    dst_port=flow.dst_port)
 
     @classmethod
-    def any(cls) -> "FlowMatch":
+    def any(cls) -> FlowMatch:
         """The ``*`` rule: matches every flow."""
         return cls()
 
@@ -155,7 +155,7 @@ class FlowMatch:
             return False
         return True
 
-    def subsumes(self, other: "FlowMatch") -> bool:
+    def subsumes(self, other: FlowMatch) -> bool:
         """True when every flow matched by ``other`` is matched by self.
 
         Used by cross-layer messages: a message whose flow criteria

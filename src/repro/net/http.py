@@ -38,7 +38,7 @@ class HttpRequest:
         return "\r\n".join(lines) + "\r\n\r\n" + self.body
 
     @classmethod
-    def parse(cls, text: str) -> "HttpRequest":
+    def parse(cls, text: str) -> HttpRequest:
         head, _, body = text.partition("\r\n\r\n")
         lines = head.split("\r\n")
         method, path, _version = lines[0].split(" ", 2)
@@ -74,7 +74,7 @@ class HttpResponse:
         return "\r\n".join(lines) + "\r\n\r\n" + self.body
 
     @classmethod
-    def parse(cls, text: str) -> "HttpResponse":
+    def parse(cls, text: str) -> HttpResponse:
         head, _, body = text.partition("\r\n\r\n")
         lines = head.split("\r\n")
         _version, status, reason = lines[0].split(" ", 2)

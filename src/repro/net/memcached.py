@@ -35,7 +35,7 @@ class MemcachedRequest:
                 f"{self.value}\r\n")
 
     @classmethod
-    def parse(cls, text: str) -> "MemcachedRequest":
+    def parse(cls, text: str) -> MemcachedRequest:
         line, _, rest = text.partition("\r\n")
         parts = line.split(" ")
         if parts[0] == "get" and len(parts) == 2:

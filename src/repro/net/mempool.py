@@ -46,7 +46,7 @@ class PacketPool:
     """
 
     def __init__(self, capacity: int = DEFAULT_POOL_SIZE,
-                 stats: "HostStats | None" = None) -> None:
+                 stats: HostStats | None = None) -> None:
         if capacity < 0:
             raise ValueError(f"negative pool capacity: {capacity}")
         self.capacity = capacity

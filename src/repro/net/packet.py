@@ -75,7 +75,7 @@ class Packet:
         self._ip = ip
         self._l4 = l4
         self._annotations = annotations
-        self._pool: "PacketPool | None" = None
+        self._pool: PacketPool | None = None
         self._in_pool = False
 
     def _reset(self, flow: FiveTuple, size: int, payload: str,
@@ -157,7 +157,7 @@ class Packet:
         self._annotations = scratch
 
     @property
-    def pool(self) -> "PacketPool | None":
+    def pool(self) -> PacketPool | None:
         """The mempool this buffer belongs to (None = plain heap packet)."""
         return self._pool
 

@@ -36,7 +36,7 @@ class NfContext:
     directly.
     """
 
-    def __init__(self, sim: "Simulator", service_id: str, vm_id: str,
+    def __init__(self, sim: Simulator, service_id: str, vm_id: str,
                  submit_message: typing.Callable[[NfMessage], None],
                  rng: np.random.Generator) -> None:
         self.sim = sim

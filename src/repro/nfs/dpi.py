@@ -45,16 +45,16 @@ class ProtocolClassifier(NetworkFunction):
 
     def __init__(self, service_id: str,
                  steering: dict[str, str] | None = None,
-                 scan_cost_per_byte_ns: float = 0.3) -> None:
+                 scan_ns_per_byte: float = 0.3) -> None:
         super().__init__(service_id)
         self.steering = dict(steering or {})
-        self.scan_cost_per_byte_ns = scan_cost_per_byte_ns
+        self.scan_ns_per_byte = scan_ns_per_byte
         self.flow_protocol: dict[FiveTuple, str] = {}
         self.counts: dict[str, int] = {}
 
     def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
         return max(25, round(len(packet.payload)
-                             * self.scan_cost_per_byte_ns))
+                             * self.scan_ns_per_byte))
 
     def protocol_of(self, flow: FiveTuple) -> str:
         return self.flow_protocol.get(flow, "unknown")

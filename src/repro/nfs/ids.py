@@ -36,17 +36,17 @@ class IntrusionDetector(NetworkFunction):
     def __init__(self, service_id: str,
                  signatures: typing.Sequence[str] = DEFAULT_SIGNATURES,
                  alert_service: str | None = None,
-                 scan_cost_per_byte_ns: float = 0.5) -> None:
+                 scan_ns_per_byte: float = 0.5) -> None:
         super().__init__(service_id)
         self.signatures = tuple(signatures)
         self.alert_service = alert_service
-        self.scan_cost_per_byte_ns = scan_cost_per_byte_ns
+        self.scan_ns_per_byte = scan_ns_per_byte
         self.alerts = 0
         self.flagged_flows: set = set()
 
     def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
         return max(20, round(len(packet.payload)
-                             * self.scan_cost_per_byte_ns))
+                             * self.scan_ns_per_byte))
 
     def _is_malicious(self, packet: Packet) -> bool:
         if packet.flow in self.flagged_flows:

@@ -21,7 +21,7 @@ from repro.nfs.base import NetworkFunction, NfContext
 
 def _fnv1a(key: str) -> int:
     value = 2166136261
-    for byte in key.encode("utf-8"):
+    for byte in key.encode():
         value ^= byte
         value = (value * 16777619) % (1 << 32)
     return value

@@ -25,7 +25,7 @@ class Scrubber(NetworkFunction):
     """
 
     read_only = False  # may terminate flows
-    scan_cost_per_byte_ns = 2.0
+    scan_ns_per_byte = 2.0
 
     def __init__(self, service_id: str,
                  signatures: typing.Sequence[str] = DEFAULT_SIGNATURES
@@ -37,7 +37,7 @@ class Scrubber(NetworkFunction):
 
     def processing_cost_ns(self, packet: Packet, ctx: NfContext) -> int:
         return max(100, round(len(packet.payload)
-                              * self.scan_cost_per_byte_ns))
+                              * self.scan_ns_per_byte))
 
     def process(self, packet: Packet, ctx: NfContext) -> Verdict:
         if any(signature in packet.payload

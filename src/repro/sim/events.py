@@ -36,7 +36,7 @@ class Event:
     __slots__ = ("sim", "callbacks", "_value", "_exception", "_defused",
                  "_cancelled", "_recycle")
 
-    def __init__(self, sim: "Simulator") -> None:
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.callbacks: list[typing.Callable[[Event], None]] | None = []
         self._value: typing.Any = _PENDING
@@ -75,7 +75,7 @@ class Event:
             raise self._exception
         return self._value
 
-    def succeed(self, value: typing.Any = None) -> "Event":
+    def succeed(self, value: typing.Any = None) -> Event:
         """Trigger the event successfully with ``value``."""
         if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
@@ -88,7 +88,7 @@ class Event:
         sim._sequence += 1
         return self
 
-    def fail(self, exception: BaseException) -> "Event":
+    def fail(self, exception: BaseException) -> Event:
         """Trigger the event with an exception."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -132,7 +132,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: int,
+    def __init__(self, sim: Simulator, delay: int,
                  value: typing.Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -160,7 +160,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target")
 
-    def __init__(self, sim: "Simulator",
+    def __init__(self, sim: Simulator,
                  generator: typing.Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -264,7 +264,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_completed")
 
-    def __init__(self, sim: "Simulator",
+    def __init__(self, sim: Simulator,
                  events: typing.Sequence[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)

@@ -29,12 +29,17 @@ class RandomStreams:
 def _stable_hash(name: str) -> int:
     """A deterministic (non-salted) 63-bit hash of a string."""
     value = 1469598103934665603  # FNV-1a offset basis
-    for byte in name.encode("utf-8"):
+    for byte in name.encode():
         value ^= byte
         value = (value * 1099511628211) % (1 << 63)
     return value
 
 
-def exponential_ns(rng: np.random.Generator, mean_ns: float) -> int:
-    """Draw an exponential interarrival time in integer nanoseconds (>=1)."""
-    return max(1, round(rng.exponential(mean_ns)))
+def exponential_ns(rng: np.random.Generator, mean: float) -> int:
+    """Draw an exponential interarrival time in integer nanoseconds (>=1).
+
+    ``mean`` is the distribution mean in ns — a real-valued *parameter*
+    (rates rarely divide evenly), which is why it does not carry the
+    ``_ns`` integer-nanosecond suffix; the draw itself is quantized.
+    """
+    return max(1, round(rng.exponential(mean)))

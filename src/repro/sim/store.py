@@ -30,7 +30,12 @@ class Store:
     leave it off for stores exposed to arbitrary callers.
     """
 
-    def __init__(self, sim: "Simulator",
+    # Stores sit on the per-packet path (NIC rings, VM rings, TX queues):
+    # slotted so a busy host's queues never pay per-instance dict costs.
+    __slots__ = ("sim", "capacity", "recycle", "items", "_getters",
+                 "_putters")
+
+    def __init__(self, sim: Simulator,
                  capacity: int | float = float("inf"),
                  recycle: bool = False) -> None:
         if capacity <= 0:

@@ -44,7 +44,7 @@ class BuiltNetwork:
         from repro.dataplane.flow_table import FlowTableEntry
 
         path = self.topology.shortest_path(src, dst)
-        for previous, current, nxt in zip(path, path[1:], path[2:]):
+        for previous, current, nxt in zip(path, path[1:], path[2:], strict=False):
             self.hosts[current].install_rule(FlowTableEntry(
                 scope=f"to-{previous}", match=match,
                 actions=(ToPort(f"to-{nxt}"),)))

@@ -91,12 +91,12 @@ class Topology:
     def path_delay_ns(self, path: typing.Sequence[str]) -> int:
         """Sum of link delays along a node path."""
         total = 0
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             total += self.link(a, b).delay_ns
         return total
 
     def path_links(self, path: typing.Sequence[str]) -> list[Link]:
-        return [self.link(a, b) for a, b in zip(path, path[1:])]
+        return [self.link(a, b) for a, b in zip(path, path[1:], strict=False)]
 
     def total_cores(self) -> int:
         return sum(spec.cores for spec in self._nodes.values())

@@ -67,7 +67,7 @@ class MemcachedWorkload:
         self.latency.record(proxy_ns + self.server_rtt_ns)
 
     def _run(self):
-        gap_ns = S / self.requests_per_second
+        mean_gap = S / self.requests_per_second
         while True:
             flow = self._flows[self.sent % len(self._flows)]
             request = MemcachedRequest(command="get", key=self._zipf_key())
@@ -78,4 +78,4 @@ class MemcachedWorkload:
             self.host.inject(self.ingress_port, packet)
             self.sent += 1
             yield self.sim.timeout(
-                max(1, round(self._rng.exponential(gap_ns))))
+                max(1, round(self._rng.exponential(mean_gap))))

@@ -50,8 +50,12 @@ class FlowSpec:
             return self.payload(sequence)
         return self.payload
 
-    def interval_ns(self) -> float:
-        """Mean inter-packet gap at the current rate."""
+    def mean_gap(self) -> float:
+        """Mean inter-packet gap in ns at the current rate.
+
+        A real-valued distribution parameter (line rates rarely divide
+        into whole nanoseconds) — callers quantize each actual gap.
+        """
         return wire_bits(self.packet_size) * 1000.0 / self.rate_mbps
 
 
@@ -148,9 +152,9 @@ class PktGen:
         self.host.inject(self.ingress_port, packet)
         self.sent += 1
         self.tx_meter.record(now, spec.packet_size)
-        # interval_ns() is recomputed every tick on purpose: rate_mbps is
+        # mean_gap() is recomputed every tick on purpose: rate_mbps is
         # documented as mutable mid-run (Fig. 9 rate steps).
-        mean_gap = spec.interval_ns()
+        mean_gap = spec.mean_gap()
         if spec.pacing == "poisson":
             gap = max(1, round(self._rng.exponential(mean_gap)))
         else:

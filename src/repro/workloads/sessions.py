@@ -76,7 +76,9 @@ class FlowChurnWorkload:
         self.host = host
         self.ingress_port = ingress_port
         self.packet_size = packet_size
-        self.interval_ns = S / new_flows_per_second
+        # Mean gap between new flows: a real-valued rate parameter, not
+        # an integer-ns quantity (each drawn gap is quantized below).
+        self.mean_gap = S / new_flows_per_second
         self.out_meter = ThroughputMeter(window_ns=window_ns)
         self.flows_started = 0
         self.completed_flows = 0
@@ -117,7 +119,7 @@ class FlowChurnWorkload:
             # Second packet follows shortly after the first.
             self.sim.schedule(50_000, lambda p=reply: self.host.inject(
                 self.ingress_port, p))
-            gap = max(1, round(self._rng.exponential(self.interval_ns)))
+            gap = max(1, round(self._rng.exponential(self.mean_gap)))
             yield self.sim.timeout(gap)
 
     def completed_per_second(self, elapsed_ns: int) -> float:

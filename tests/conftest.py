@@ -41,7 +41,7 @@ def install_chain(host: NfvHost, services: list[str],
     hops = [ToService(service) for service in services] + [ToPort(out_port)]
     host.install_rule(FlowTableEntry(scope=in_port, match=match,
                                      actions=(hops[0],)))
-    for service, nxt in zip(services, hops[1:]):
+    for service, nxt in zip(services, hops[1:], strict=True):
         host.install_rule(FlowTableEntry(scope=service, match=match,
                                          actions=(nxt,)))
 

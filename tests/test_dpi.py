@@ -75,7 +75,7 @@ class TestProtocolClassifier:
         assert dpi.counts["tls"] == 1
 
     def test_scan_cost_scales(self, sim, flow):
-        dpi = ProtocolClassifier("dpi", scan_cost_per_byte_ns=1.0)
+        dpi = ProtocolClassifier("dpi", scan_ns_per_byte=1.0)
         ctx = _ctx(sim)
         small = dpi.processing_cost_ns(Packet(flow=flow, payload="x"),
                                        ctx)

@@ -137,7 +137,7 @@ class TestRandomness:
 
     def test_exponential_ns_minimum(self):
         rng = RandomStreams(seed=0).stream("e")
-        draws = [exponential_ns(rng, mean_ns=0.001) for _ in range(50)]
+        draws = [exponential_ns(rng, mean=0.001) for _ in range(50)]
         assert all(draw >= 1 for draw in draws)
 
 

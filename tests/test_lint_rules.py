@@ -1,0 +1,272 @@
+"""Every lint rule gets a fixture pair: one snippet it rejects, one it
+accepts — plus engine-level behavior (noqa suppression, selection, CLI
+exit codes) and the acceptance gate that the repo lints itself clean."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.lint import RULES, lint_paths, lint_source
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def violations(source: str, rule_id: str) -> list:
+    found = lint_source(textwrap.dedent(source), select=[rule_id])
+    assert all(v.rule_id == rule_id for v in found)
+    return found
+
+
+class TestSim001WallClock:
+    def test_rejects_wall_clock_and_ambient_randomness(self):
+        bad = """
+            import random
+            import time
+
+            def jitter():
+                return time.time() + random.random()
+        """
+        found = violations(bad, "SIM001")
+        assert len(found) == 2
+        assert "time.time" in found[0].message
+        assert "random.random" in found[1].message
+
+    def test_rejects_datetime_and_uuid4(self):
+        bad = """
+            import datetime, uuid
+
+            def stamp():
+                return datetime.datetime.now(), uuid.uuid4()
+        """
+        assert len(violations(bad, "SIM001")) == 2
+
+    def test_accepts_sim_clock_and_seeded_streams(self):
+        good = """
+            import numpy as np
+
+            def jitter(sim, streams):
+                rng = np.random.default_rng(7)
+                return sim.now + round(streams.stream("gen").exponential(10))
+        """
+        assert violations(good, "SIM001") == []
+
+
+class TestSim002IntegerNanoseconds:
+    def test_rejects_float_into_ns_name(self):
+        bad = """
+            def schedule(self, size, rate):
+                self.gap_ns = size * 8.0 / rate
+        """
+        found = violations(bad, "SIM002")
+        assert len(found) == 1
+        assert "gap_ns" in found[0].message
+
+    def test_rejects_float_returning_ns_function(self):
+        bad = """
+            def interval_ns(size, rate) -> float:
+                return size * 1000.0 / rate
+        """
+        assert len(violations(bad, "SIM002")) == 2  # annotation + return
+
+    def test_accepts_rounded_assignment(self):
+        good = """
+            def schedule(self, size, rate):
+                self.gap_ns = max(1, round(size * 8.0 / rate))
+                delay_ns = self.gap_ns // 2
+                return delay_ns
+        """
+        assert violations(good, "SIM002") == []
+
+
+class TestSim003HotPathSlots:
+    def test_rejects_hot_path_class_without_slots(self):
+        bad = """
+            class Packet:
+                def __init__(self, size):
+                    self.size = size
+        """
+        found = violations(bad, "SIM003")
+        assert len(found) == 1
+        assert "__slots__" in found[0].message
+
+    def test_accepts_slots_and_slotted_dataclass(self):
+        good = """
+            import dataclasses
+
+            class Packet:
+                __slots__ = ("size",)
+
+                def __init__(self, size):
+                    self.size = size
+
+            @dataclasses.dataclass(slots=True)
+            class PacketDescriptor:
+                packet: Packet
+
+            class FlowTable:  # not a hot-path class: no slots needed
+                def __init__(self):
+                    self.rules = {}
+        """
+        assert violations(good, "SIM003") == []
+
+
+class TestSim004NfHandlerPurity:
+    def test_rejects_blocking_io_in_process(self):
+        bad = """
+            import time
+
+            class LoggingNf(NetworkFunction):
+                def process(self, packet, ctx):
+                    print(packet)
+                    time.sleep(0.1)
+                    return Verdict.default()
+        """
+        found = violations(bad, "SIM004")
+        assert len(found) == 2
+        assert "print" in found[0].message
+        assert "time.sleep" in found[1].message
+
+    def test_accepts_pure_handler_and_ignores_non_nf_classes(self):
+        good = """
+            class CountingNf(NetworkFunction):
+                def process(self, packet, ctx):
+                    self.seen += 1
+                    return Verdict.default()
+
+            class ReportWriter:  # not an NF: IO is its job
+                def process(self, row):
+                    print(row)
+        """
+        assert violations(good, "SIM004") == []
+
+
+class TestOwn001BufferBalance:
+    def test_rejects_leaky_branch(self):
+        bad = """
+            def drive(pool, host, flow):
+                packet = pool.alloc(flow)
+                if host.ready:
+                    host.inject("eth0", packet)
+                # not-ready path: the buffer is never handed off
+        """
+        found = violations(bad, "OWN001")
+        assert len(found) == 1
+        assert "leak" in found[0].message
+
+    def test_rejects_double_handoff(self):
+        bad = """
+            def drive(pool, host, flow):
+                packet = pool.alloc(flow)
+                host.inject("eth0", packet)
+                packet.free()
+        """
+        found = violations(bad, "OWN001")
+        assert len(found) == 1
+        assert "more than once" in found[0].message
+
+    def test_accepts_balanced_paths(self):
+        good = """
+            def drive(pool, host, flow):
+                packet = pool.alloc(flow)
+                if host.ready:
+                    host.inject("eth0", packet)
+                else:
+                    packet.free()
+
+            def make(pool, flow):
+                packet = pool.alloc(flow)
+                return packet
+        """
+        assert violations(good, "OWN001") == []
+
+
+class TestFlow001IterationSafety:
+    def test_rejects_mutation_while_iterating(self):
+        bad = """
+            def expire(table, now):
+                for flow, entry in table.items():
+                    if entry.expired(now):
+                        del table[flow]
+        """
+        found = violations(bad, "FLOW001")
+        assert len(found) == 1
+        assert "mutated while being iterated" in found[0].message
+
+    def test_accepts_snapshot_iteration(self):
+        good = """
+            def expire(table, now):
+                for flow, entry in list(table.items()):
+                    if entry.expired(now):
+                        del table[flow]
+        """
+        assert violations(good, "FLOW001") == []
+
+
+class TestEngine:
+    def test_noqa_suppresses_named_rule_only(self):
+        source = textwrap.dedent("""
+            import time
+
+            def wall():
+                return time.time()  # sdnfv: noqa SIM001 (telemetry)
+        """)
+        assert lint_source(source) == []
+        # A different rule's ID does not suppress SIM001.
+        other = source.replace("SIM001", "SIM002")
+        assert len(lint_source(other)) == 1
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = textwrap.dedent("""
+            import time
+
+            def wall():
+                return time.time()  # sdnfv: noqa
+        """)
+        assert lint_source(source) == []
+
+    def test_select_runs_only_named_rules(self):
+        source = textwrap.dedent("""
+            import time
+
+            class Packet:
+                pass
+
+            def wall():
+                return time.time()
+        """)
+        assert {v.rule_id for v in lint_source(source)} == {"SIM001",
+                                                            "SIM003"}
+        only = lint_source(source, select=["SIM003"])
+        assert [v.rule_id for v in only] == ["SIM003"]
+
+    def test_violation_rendering_is_path_line_col(self):
+        found = lint_source("import time\nx = time.time()\n",
+                            path="pkg/mod.py")
+        assert str(found[0]).startswith("pkg/mod.py:2:5: SIM001")
+
+    def test_all_six_rules_registered(self):
+        assert set(RULES) == {"SIM001", "SIM002", "SIM003", "SIM004",
+                              "OWN001", "FLOW001"}
+
+
+class TestSelfLint:
+    def test_src_repro_lints_clean(self):
+        """The acceptance gate: the repo passes its own lint."""
+        assert lint_paths([REPO / "src" / "repro"]) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        script = str(REPO / "tools" / "sdnfv_lint.py")
+        ok = subprocess.run([sys.executable, script, str(clean)],
+                            capture_output=True, text=True)
+        assert ok.returncode == 0
+        bad = subprocess.run([sys.executable, script, str(dirty)],
+                             capture_output=True, text=True)
+        assert bad.returncode == 1
+        assert "SIM001" in bad.stdout

@@ -201,7 +201,7 @@ class TestIds:
         assert packet.annotations["ids_alert"]
 
     def test_scan_cost_scales_with_payload(self, sim, flow, ctx):
-        nf = IntrusionDetector("ids", scan_cost_per_byte_ns=1.0)
+        nf = IntrusionDetector("ids", scan_ns_per_byte=1.0)
         small = nf.processing_cost_ns(pkt(flow, payload="x" * 100), ctx())
         large = nf.processing_cost_ns(pkt(flow, payload="x" * 1000),
                                       ctx())

@@ -1,0 +1,114 @@
+"""Verify-mode parity: the ownership detector is free when off and
+invisible when on.
+
+``verify=False`` (the default) must be *structurally* identical to the
+pre-analysis tree — not one wrapper installed, the exact class methods
+on the hot path — and ``verify=True`` must be *behaviorally* identical:
+byte-for-byte the same deliveries, latency samples, stats, and kernel
+odometers on the Fig. 7 workload, because the wrappers only observe.
+This doubles as the acceptance run: the instrumented Fig. 7 scenario
+must finish with a clean ledger and a balanced conservation audit.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane import NfvHost
+from repro.net import FiveTuple
+from repro.nfs import NoOpNf
+from repro.sim import MS, Simulator
+from repro.workloads import FlowSpec, PktGen
+
+from tests.conftest import install_chain
+
+WINDOW_NS = 2 * MS
+
+#: Hot-path hand-off points that verify=True shadows with instance-level
+#: wrappers; verify=False must leave every one on its class.
+_POOL_HOOKS = ("alloc", "reclaim")
+_PORT_HOOKS = ("receive", "transmit")
+_RING_HOOKS = ("try_enqueue", "enqueue_burst")
+_MANAGER_HOOKS = ("register_vm", "add_port", "install_rule",
+                  "apply_message")
+
+
+def run_fig7(verify: bool):
+    """One deterministic Fig. 7-style run; returns everything observable."""
+    sim = Simulator()
+    host = NfvHost(sim, name="parity", verify=verify)
+    for service in ("noop0", "noop1"):
+        host.add_nf(NoOpNf(service), ring_slots=256)
+    install_chain(host, ["noop0", "noop1"])
+    flow = FiveTuple("10.0.0.1", "10.0.0.2", 6, 1234, 80)
+    gen = PktGen(sim, host, window_ns=MS)
+    gen.add_flow(FlowSpec(flow=flow, rate_mbps=8_000.0, packet_size=64,
+                          stop_ns=WINDOW_NS))
+
+    deliveries: list[tuple[int, int, FiveTuple]] = []
+    measured_hook = host.port("eth1").on_egress
+
+    def recording_hook(packet):
+        deliveries.append((sim.now, packet.created_at, packet.flow))
+        measured_hook(packet)
+
+    host.port("eth1").on_egress = recording_hook
+    sim.run(until=WINDOW_NS + MS)
+    return {
+        "deliveries": deliveries,
+        "latency_samples": gen.latency.samples_ns,
+        "summary": host.stats.summary(),
+        "events_scheduled": sim.events_scheduled,
+        "timers_scheduled": sim.timers_scheduled,
+        "events_cancelled": sim.events_cancelled,
+        "sent": gen.sent,
+        "received": gen.received,
+        "gbps": gen.rx_meter.mean_gbps(),
+        "host": host,
+    }
+
+
+def test_default_host_installs_no_wrappers():
+    """verify=False is the pre-analysis tree: every hot-path method is
+    the plain class function, nothing shadowed on any instance."""
+    sim = Simulator()
+    host = NfvHost(sim, name="bare")
+    vm = host.add_nf(NoOpNf("svc"))
+    assert host.verifier is None
+    for hook in _POOL_HOOKS:
+        assert hook not in host.packet_pool.__dict__
+    for port in host.manager.ports.values():
+        for hook in _PORT_HOOKS:
+            assert hook not in port.__dict__
+    for ring in [vm.rx_ring, *host.manager._tx_queues]:
+        for hook in _RING_HOOKS:
+            assert hook not in ring.__dict__
+    for hook in _MANAGER_HOOKS:
+        assert hook not in host.manager.__dict__
+
+
+def test_verified_run_is_observationally_identical():
+    """The wrappers observe; they must never perturb the simulation."""
+    plain = run_fig7(verify=False)
+    verified = run_fig7(verify=True)
+    assert verified["deliveries"] == plain["deliveries"]
+    assert verified["latency_samples"] == plain["latency_samples"]
+    assert verified["summary"] == plain["summary"]
+    assert verified["events_scheduled"] == plain["events_scheduled"]
+    assert verified["timers_scheduled"] == plain["timers_scheduled"]
+    assert verified["events_cancelled"] == plain["events_cancelled"]
+    assert verified["sent"] == plain["sent"]
+    assert verified["received"] == plain["received"]
+    assert verified["gbps"] == plain["gbps"]
+    assert plain["received"] > 1000  # the workload actually moved traffic
+
+
+def test_instrumented_fig7_run_is_clean():
+    """Acceptance: the Fig. 7 scenario under verify=True reports zero
+    leaks, zero double-releases, and a balanced conservation audit."""
+    verified = run_fig7(verify=True)
+    report = verified["host"].verifier.assert_clean()
+    audit = report.audit
+    assert audit["balanced"]
+    assert audit["inflight"] == 0
+    assert audit["delivered"] == verified["received"]
+    assert audit["injected"] == verified["sent"]
+    assert audit["injected"] == (audit["delivered"] + audit["dropped"])

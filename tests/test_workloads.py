@@ -30,7 +30,7 @@ class TestFlowSpec:
     def test_interval_matches_rate(self, flow):
         spec = FlowSpec(flow=flow, rate_mbps=100.0, packet_size=1000)
         # 1024 B wire frame = 8192 bits; at 100 Mb/s -> 81.92 µs.
-        assert spec.interval_ns() == pytest.approx(81_920)
+        assert spec.mean_gap() == pytest.approx(81_920)
 
     def test_payload_callable(self, flow):
         spec = FlowSpec(flow=flow, rate_mbps=1,

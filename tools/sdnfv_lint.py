@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CLI for the repo-specific lint pass (``repro.analysis.lint``).
+
+Usage::
+
+    PYTHONPATH=src python tools/sdnfv_lint.py src/repro [more paths...]
+    python tools/sdnfv_lint.py --list-rules
+    python tools/sdnfv_lint.py --select SIM001,OWN001 src/repro
+
+Exits 1 when any violation is found (this is the blocking CI gate), 0
+on a clean tree.  Suppress a single line with ``# sdnfv: noqa RULE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Make the CLI runnable from a plain checkout without PYTHONPATH=src.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.lint import RULES, lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sdnfv_lint",
+        description="SDNFV repo-specific static checks (sim determinism, "
+                    "integer-ns discipline, hot-path __slots__, NF purity, "
+                    "buffer-ownership balance, iteration safety).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule IDs to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in RULES.items():
+            print(f"{rule_id}  {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",")
+                  if name.strip()]
+        unknown = [name for name in select if name not in RULES]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    violations = lint_paths(args.paths, select=select)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
