@@ -1,0 +1,125 @@
+"""Micro-benchmark: the sharded kernel on a multi-host chain.
+
+A 4-host Rocketfuel-style line (per-hop propagation delay ≫ the
+per-packet service time, the regime where conservative windowing pays)
+runs the same 4-service chain at shards ∈ {1, 2, 4}.  Two gates:
+
+- **Correctness (always):** every shard count moves *exactly* the same
+  packets — identical network-wide rx/tx/drop/conservation totals.
+- **Speed (multi-core machines only):** with one worker process per
+  shard, ``shards=4`` must beat the single-shard wall clock by ≥1.5×.
+  On boxes with fewer than 4 CPUs the parallel run cannot win (the
+  workers time-slice one core and pay the pipe tax on top), so the
+  speedup assertion is skipped and the numbers are recorded instead.
+
+The JSON artifact (``results/micro_multihost.json``) records wall-clock
+and events/packet per shard count for regression tooling.
+"""
+
+import os
+import time
+
+from repro.core import EXIT, ServiceGraph
+from repro.net import FiveTuple
+from repro.sim import MS, US
+from repro.sim.sharded import Scenario, ShardedSimulator, TrafficSpec
+from repro.topology import Link, NodeSpec, Topology
+
+HOSTS = 4
+DURATION = 20 * MS
+LINK_DELAY = 500 * US
+MIN_SPEEDUP = 1.5
+SHARD_COUNTS = (1, 2, 4)
+
+
+def make_scenario() -> Scenario:
+    topology = Topology()
+    for index in range(HOSTS):
+        topology.add_node(NodeSpec(name=f"h{index}", cores=4))
+    for index in range(HOSTS - 1):
+        topology.add_link(Link(a=f"h{index}", b=f"h{index + 1}",
+                               delay_ns=LINK_DELAY))
+    graph = ServiceGraph("chain")
+    services = ("a", "b", "c", "d")
+    for service in services:
+        graph.add_service(service, read_only=True)
+    for src, dst in zip(services, services[1:]):
+        graph.add_edge(src, dst, default=True)
+    graph.add_edge(services[-1], EXIT, default=True)
+    graph.set_entry(services[0])
+    return Scenario(
+        topology=topology, graph=graph,
+        placement={"a": "h0", "b": "h1", "c": "h2", "d": "h3"},
+        duration_ns=DURATION,
+        traffic=[
+            TrafficSpec(host="h0",
+                        flow=FiveTuple("10.0.0.1", "10.0.0.2", 6, 1, 80),
+                        rate_mbps=2000.0, stop_ns=12 * MS),
+            TrafficSpec(host="h0",
+                        flow=FiveTuple("10.0.0.3", "10.0.0.4", 17, 2, 53),
+                        rate_mbps=1200.0, start_ns=2 * MS,
+                        stop_ns=10 * MS),
+        ],
+    )
+
+
+def run_once(shards: int) -> dict:
+    workers = 0 if shards == 1 else shards
+    started = time.perf_counter()
+    result = ShardedSimulator(make_scenario(), shards=shards,
+                              workers=workers).run()
+    wall_s = time.perf_counter() - started
+    events = sum(r["events_scheduled"] for r in result.shard_results)
+    packets = result.totals()["rx_packets"]
+    return {
+        "shards": shards,
+        "workers": workers,
+        "wall_s": wall_s,
+        "events_scheduled": events,
+        "events_per_packet": events / packets if packets else 0.0,
+        "totals": result.totals(),
+    }
+
+
+def test_sharded_multihost_scaling(report):
+    runs = {shards: run_once(shards) for shards in SHARD_COUNTS}
+
+    # Correctness gate: shard count never changes what the network did.
+    reference = runs[1]["totals"]
+    for shards in SHARD_COUNTS[1:]:
+        assert runs[shards]["totals"] == reference, shards
+    assert reference["rx_packets"] > 10_000  # the workload is real
+
+    speedup = runs[1]["wall_s"] / runs[4]["wall_s"]
+    parallel_capable = (os.cpu_count() or 1) >= 4
+
+    lines = [
+        "sharded multi-host chain "
+        f"({HOSTS} hosts, {DURATION // MS} ms, 64 B)",
+        f"{'shards':>6} {'workers':>7} {'wall_s':>8} {'events/pkt':>10}",
+    ]
+    for shards in SHARD_COUNTS:
+        run = runs[shards]
+        lines.append(f"{shards:>6} {run['workers']:>7} "
+                     f"{run['wall_s']:>8.3f} "
+                     f"{run['events_per_packet']:>10.2f}")
+    lines.append(f"speedup shards=4 vs shards=1: {speedup:.2f}x "
+                 f"(cpus={os.cpu_count()}, "
+                 f"gate {'on' if parallel_capable else 'off'})")
+    report("micro_multihost", "\n".join(lines),
+           metrics={str(shards): {key: run[key] for key in
+                                  ("workers", "wall_s",
+                                   "events_scheduled",
+                                   "events_per_packet", "totals")}
+                    for shards, run in runs.items()},
+           config={"hosts": HOSTS, "duration_ns": DURATION,
+                   "link_delay_ns": LINK_DELAY,
+                   "shard_counts": list(SHARD_COUNTS),
+                   "cpu_count": os.cpu_count(),
+                   "min_speedup": MIN_SPEEDUP,
+                   "speedup_gate_active": parallel_capable})
+
+    if parallel_capable:
+        assert speedup >= MIN_SPEEDUP, (
+            f"shards=4 only {speedup:.2f}x faster than shards=1 "
+            f"(need {MIN_SPEEDUP}x)")

@@ -12,6 +12,10 @@ cheap to write and expensive to debug:
   memory and allocation rate without failing any test.
 - **SIM004** — NF ``process``/handler bodies run inside the simulated
   packet loop; blocking IO there stalls the *real* process mid-sim.
+- **SIM005** — shards of the sharded kernel may exchange only
+  *serialized* boundary events; reaching through a shard handle into
+  another shard's live objects (hosts, pools, managers) silently breaks
+  worker-mode parity and determinism.
 - **OWN001** — every pool-allocated buffer must be handed off exactly
   once per path (to a ring, port, caller, or ``free``/``release``);
   unbalanced paths are leaks or double-releases.
@@ -361,6 +365,59 @@ class _Sim004:
 
 
 # ----------------------------------------------------------------------
+# SIM005 — no cross-shard object sharing in the sharded kernel
+# ----------------------------------------------------------------------
+
+#: Names of collections that hold per-shard runtimes / worker handles
+#: inside ``repro.sim.sharded``.
+_SHARD_COLLECTIONS = frozenset({
+    "shards", "_shards", "runtimes", "_runtimes", "peers", "workers",
+})
+
+#: The serialized conductor protocol — the only attributes conductor
+#: code may touch on another shard's handle.  Everything else (hosts,
+#: pools, managers, sims) is that shard's private world.
+_SHARD_PROTOCOL = frozenset({
+    "shard_id", "advance", "deliver", "take_outbox", "collect",
+})
+
+
+def _is_sharded_kernel(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith("repro/sim/sharded.py")
+
+
+class _Sim005:
+    rule_id = "SIM005"
+    summary = ("no cross-shard object sharing in repro.sim.sharded "
+               "(shards exchange serialized boundary events only)")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        if not _is_sharded_kernel(path):
+            return []
+        violations = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Subscript)):
+                continue
+            base = node.value.value
+            base_name = (base.id if isinstance(base, ast.Name)
+                         else base.attr if isinstance(base, ast.Attribute)
+                         else "")
+            if base_name not in _SHARD_COLLECTIONS:
+                continue
+            if node.attr in _SHARD_PROTOCOL:
+                continue
+            violations.append(_violation(
+                path, node, self.rule_id,
+                f"cross-shard access {base_name}[...].{node.attr}; one "
+                f"shard may not touch another shard's live objects — "
+                f"exchange serialized boundary events via the "
+                f"advance/deliver/take_outbox/collect protocol"))
+        return violations
+
+
+# ----------------------------------------------------------------------
 # OWN001 — pool allocations are handed off exactly once per path
 # ----------------------------------------------------------------------
 
@@ -631,5 +688,6 @@ SIM001 = register(_Sim001())
 SIM002 = register(_Sim002())
 SIM003 = register(_Sim003())
 SIM004 = register(_Sim004())
+SIM005 = register(_Sim005())
 OWN001 = register(_Own001())
 FLOW001 = register(_Flow001())

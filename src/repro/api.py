@@ -87,8 +87,28 @@ from repro.faults import (
     NfWatchdog,
 )
 
+# Topology building
+from repro.topology import (
+    BoundaryWire,
+    BuiltNetwork,
+    Link,
+    NodeSpec,
+    Topology,
+    build_network,
+)
+
+# Sharded parallel simulation
+from repro.sim.sharded import (
+    Scenario,
+    ShardPlan,
+    ShardRuntime,
+    ShardedRunResult,
+    ShardedSimulator,
+    TrafficSpec,
+)
+
 # Workloads and observability
-from repro.metrics.eventlog import EventLog
+from repro.metrics.eventlog import EventLog, merge_events
 from repro.workloads import FlowSpec, PktGen
 
 # Correctness tooling (the dynamic layer of repro.analysis; the static
@@ -159,10 +179,25 @@ __all__ = [
     "NfCrash",
     "NfHang",
     "NfWatchdog",
+    # topology building
+    "BoundaryWire",
+    "BuiltNetwork",
+    "Link",
+    "NodeSpec",
+    "Topology",
+    "build_network",
+    # sharded parallel simulation
+    "Scenario",
+    "ShardPlan",
+    "ShardRuntime",
+    "ShardedRunResult",
+    "ShardedSimulator",
+    "TrafficSpec",
     # workloads and observability
     "EventLog",
     "FlowSpec",
     "PktGen",
+    "merge_events",
     # correctness tooling
     "HostVerifier",
     "OwnershipError",

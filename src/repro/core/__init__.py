@@ -7,10 +7,11 @@ engine.
 """
 
 from repro.core.app import GraphDeployment, SdnfvApp
-from repro.core.distributed import (
+from repro.core.deploy_rules import (
     DistributedDeploymentError,
-    deploy_distributed,
+    compile_distributed_rules,
 )
+from repro.core.distributed import deploy_distributed
 from repro.core.placement import (
     DivisionSolver,
     FlowRequest,
@@ -27,6 +28,7 @@ __all__ = [
     "DistributedDeploymentError",
     "DivisionSolver",
     "EXIT",
+    "compile_distributed_rules",
     "deploy_distributed",
     "FlowRequest",
     "GraphDeployment",

@@ -24,6 +24,7 @@ from repro.dataplane.messages import (
     UserMessage,
 )
 from repro.net.flow import FiveTuple, FlowMatch
+from repro.core.deploy_rules import DistributedDeploymentError
 from repro.core.service_graph import EXIT, ServiceGraph
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
@@ -128,13 +129,25 @@ class SdnfvApp:
                placement: dict[str, str] | None = None,
                inter_host_ports: dict[tuple[str, str], str] | None = None,
                proactive: bool = True,
-               priority: int = 0) -> GraphDeployment:
+               priority: int = 0,
+               network: typing.Any = None) -> GraphDeployment:
         """Instantiate a service graph.
 
         ``proactive=True`` pushes the compiled rules to every involved host
         immediately (pre-populated rules); with ``proactive=False`` rules
         are handed out on demand when hosts report flow-table misses.
+
+        With ``network=`` (a :class:`repro.topology.BuiltNetwork`), the
+        deployment is *routed*: transit and arrival rules for non-adjacent
+        placements compile from the network's topology, and ``placement``
+        is required.  This is the unified successor of the old
+        ``deploy_distributed`` helper.
         """
+        if network is not None:
+            return self._deploy_on_network(
+                graph, network, placement, match=match,
+                ingress_port=ingress_port, exit_port=exit_port,
+                priority=priority)
         graph.validate()
         match = match or FlowMatch.any()
         deployment = GraphDeployment(
@@ -159,6 +172,57 @@ class SdnfvApp:
             if proactive:
                 rules = self._compile_for(deployment, host_name)
                 self._install(host, rules)
+        return deployment
+
+    def _deploy_on_network(self, graph: ServiceGraph, network: typing.Any,
+                           placement: dict[str, str] | None,
+                           match: FlowMatch | None,
+                           ingress_port: str, exit_port: str,
+                           priority: int) -> GraphDeployment:
+        """The routed deployment path (graphs spanning a topology).
+
+        Compilation is pure (:mod:`repro.core.deploy_rules`); the install
+        step only touches hosts the network actually realized, so a shard
+        holding a subset of the hosts installs exactly its share of the
+        same global plan.
+        """
+        from repro.core.deploy_rules import (
+            colocated_chains,
+            compile_distributed_rules,
+        )
+
+        if placement is None:
+            raise DistributedDeploymentError(
+                "deploy(network=...) needs placement=")
+        match = match or FlowMatch.any()
+        host_names = (network.all_hosts if getattr(network, "all_hosts", ())
+                      else tuple(network.hosts))
+        installs = compile_distributed_rules(
+            graph, placement, topology=network.topology,
+            inter_host_ports=network.inter_host_ports,
+            host_names=host_names, match=match,
+            ingress_port=ingress_port, exit_port=exit_port,
+            priority=priority)
+        for host_name, entry in installs:
+            host = network.hosts.get(host_name)
+            if host is not None:
+                host.install_rule(entry)
+        for host_name, chain in colocated_chains(graph, placement):
+            host = network.hosts.get(host_name)
+            if host is not None:
+                host.manager.register_parallel_chain(chain)
+
+        deployment = GraphDeployment(
+            graph=graph, match=match, ingress_port=ingress_port,
+            exit_port=exit_port, placement=dict(placement),
+            inter_host_ports=dict(network.inter_host_ports),
+            priority=priority)
+        self.deployments.append(deployment)
+        if self.event_log is not None:
+            self.event_log.record(
+                "deploy", graph=graph.name,
+                hosts=len({placement[s] for s in graph.services}),
+                services=len(graph.services))
         return deployment
 
     def _compile_for(self, deployment: GraphDeployment,

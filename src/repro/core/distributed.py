@@ -1,34 +1,26 @@
-"""One-call distributed deployment of a service graph over a network.
+"""Deprecated shim: ``deploy_distributed`` is now ``SdnfvApp.deploy``.
 
-``deploy_distributed`` takes a built network (hosts + fabric + topology),
-a service graph, and a service→host placement, and installs *everything*
-the chain needs to run:
+The one-call distributed deployment helper was folded into the unified
+entry point — pass the built network to :meth:`repro.core.app.SdnfvApp.
+deploy` instead::
 
-- per-service rules on the hosts that own them,
-- the ingress rule on the entry service's host,
-- arrival rules where cross-host edges land (scoped to the trunk port
-  facing the upstream hop),
-- transit rules on intermediate hosts when placed hosts are not adjacent.
+    app.deploy(graph, placement=placement, network=network)
 
-Cross-host edges compile into next-hop trunk forwards; packets exit via
-``exit_port`` on whichever host the terminating service runs.
+This module keeps the old callable (it warns once and delegates) and
+re-exports :class:`DistributedDeploymentError` from its new home in
+:mod:`repro.core.deploy_rules`.
 """
 
 from __future__ import annotations
 
 import typing
+import warnings
 
 from repro.core.app import GraphDeployment, SdnfvApp
-from repro.core.service_graph import DROP, EXIT, ServiceGraph
-from repro.dataplane.actions import Destination, Drop, ToPort, ToService
-from repro.dataplane.flow_table import FlowTableEntry
+from repro.core.deploy_rules import DistributedDeploymentError  # noqa: F401
+from repro.core.service_graph import ServiceGraph
 from repro.net.flow import FlowMatch
 from repro.topology.builder import BuiltNetwork
-
-
-class DistributedDeploymentError(Exception):
-    """The graph/placement combination cannot be expressed on this
-    network (e.g. two different services would share an arrival port)."""
 
 
 def deploy_distributed(app: SdnfvApp, network: BuiltNetwork,
@@ -38,93 +30,16 @@ def deploy_distributed(app: SdnfvApp, network: BuiltNetwork,
                        ingress_port: str = "eth0",
                        exit_port: str = "eth1",
                        priority: int = 0) -> GraphDeployment:
-    """Install a placed service graph across the network's hosts."""
-    graph.validate()
-    match = match or FlowMatch.any()
-    for service in graph.services:
-        if service not in placement:
-            raise DistributedDeploymentError(
-                f"service {service!r} has no placement")
-        if placement[service] not in network.hosts:
-            raise DistributedDeploymentError(
-                f"{service!r} placed on unknown host "
-                f"{placement[service]!r}")
+    """Install a placed service graph across the network's hosts.
 
-    rules: dict[str, list[FlowTableEntry]] = {
-        name: [] for name in network.hosts}
-    # (host, arrival_port) -> service, to detect conflicts.
-    arrivals: dict[tuple[str, str], str] = {}
-
-    def port_toward(src_host: str, dst_host: str) -> str:
-        return network.inter_host_ports[(src_host, dst_host)]
-
-    def arrival_port(dst_host: str, src_host: str) -> str:
-        path = network.topology.shortest_path(src_host, dst_host)
-        return f"to-{path[-2]}"
-
-    def resolve(src_service: str, dst: str) -> Destination:
-        if dst == EXIT:
-            return ToPort(exit_port)
-        if dst == DROP:
-            return Drop()
-        src_host = placement[src_service]
-        dst_host = placement[dst]
-        if src_host == dst_host:
-            return ToService(dst)
-        return ToPort(port_toward(src_host, dst_host))
-
-    # Ingress rule on the entry host.
-    entry_host = placement[graph.entry]
-    rules[entry_host].append(FlowTableEntry(
-        scope=ingress_port, match=match,
-        actions=(ToService(graph.entry),), priority=priority))
-
-    for service in graph.services:
-        host_name = placement[service]
-        actions = tuple(resolve(service, edge.dst)
-                        for edge in graph.out_edges(service))
-        rules[host_name].append(FlowTableEntry(
-            scope=service, match=match, actions=actions,
-            priority=priority))
-        # Cross-host edges into this service need arrival + transit.
-        for upstream in graph.predecessors(service):
-            upstream_host = placement[upstream]
-            if upstream_host == host_name:
-                continue
-            network.install_transit(match, upstream_host, host_name)
-            port = arrival_port(host_name, upstream_host)
-            key = (host_name, port)
-            existing = arrivals.get(key)
-            if existing is None:
-                arrivals[key] = service
-                rules[host_name].append(FlowTableEntry(
-                    scope=port, match=match,
-                    actions=(ToService(service),), priority=priority))
-            elif existing != service:
-                raise DistributedDeploymentError(
-                    f"services {existing!r} and {service!r} would share "
-                    f"arrival port {port!r} on {host_name!r} for the "
-                    "same match; refine the match or the placement")
-
-    for host_name, host_rules in rules.items():
-        if host_rules:
-            network.hosts[host_name].install_rules(host_rules)
-
-    # Register read-only parallel chains on hosts that own whole chains.
-    for chain in graph.parallel_chains():
-        chain_hosts = {placement[service] for service in chain}
-        if len(chain_hosts) == 1:
-            host = network.hosts[chain_hosts.pop()]
-            host.manager.register_parallel_chain(chain)
-
-    deployment = GraphDeployment(
-        graph=graph, match=match, ingress_port=ingress_port,
-        exit_port=exit_port, placement=dict(placement),
-        inter_host_ports=dict(network.inter_host_ports),
-        priority=priority)
-    app.deployments.append(deployment)
-    if app.event_log is not None:
-        app.event_log.record("deploy_distributed", graph=graph.name,
-                             hosts=len({placement[s]
-                                        for s in graph.services}))
-    return deployment
+    .. deprecated::
+        Use ``app.deploy(graph, placement=..., network=...)``.
+    """
+    warnings.warn(
+        "deploy_distributed() is deprecated; use "
+        "SdnfvApp.deploy(graph, placement=..., network=...)",
+        DeprecationWarning, stacklevel=2)
+    return app.deploy(graph, ingress_port=ingress_port,
+                      exit_port=exit_port, match=match,
+                      placement=dict(placement), network=network,
+                      priority=priority)

@@ -33,7 +33,10 @@ class NfvHost:
     def __init__(self, sim: Simulator, name: str = "host0",
                  costs: HostCosts | None = None,
                  controller: typing.Any | None = None,
-                 ports: typing.Sequence[str] = ("eth0", "eth1"),
+                 ports: typing.Sequence[str] | None = None,
+                 ingress_port: str = "eth0",
+                 exit_port: str = "eth1",
+                 extra_ports: typing.Sequence[str] = (),
                  line_rate_gbps: float = 10.0,
                  tx_threads: int = 2,
                  load_balance: LoadBalancePolicy = (
@@ -48,6 +51,16 @@ class NfvHost:
                  verify: bool = False) -> None:
         self.sim = sim
         self.name = name
+        # Normalized port construction (shared with build_network and
+        # SdnfvApp.deploy): either pass an explicit ``ports`` tuple, or
+        # let ``ingress_port`` / ``exit_port`` / ``extra_ports`` assemble
+        # one.  The first two are remembered so deploy-time code can ask
+        # a host where traffic enters and leaves.
+        if ports is None:
+            ports = (ingress_port, exit_port, *extra_ports)
+        self.ingress_port = ingress_port if ingress_port in ports else ports[0]
+        self.exit_port = (exit_port if exit_port in ports
+                          else ports[min(1, len(ports) - 1)])
         self.manager = NfManager(
             sim, name=name, costs=costs, controller=controller,
             tx_threads=tx_threads, load_balance=load_balance,

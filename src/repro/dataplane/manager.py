@@ -297,6 +297,9 @@ class NfManager:
         # RX allocation and TX/drop retirement recycle through it.
         self._desc_pool: list[PacketDescriptor] = []
         self.ports: dict[str, NicPort] = {}
+        # Per-manager VM id mint (see NfVm.__init__): local registration
+        # order, never global creation order, names a VM.
+        self._vm_ids = itertools.count()
         self.vms_by_service: dict[str, list[NfVm]] = {}
         self._balancers: dict[str, ServiceLoadBalancer] = {}
         self._lb_policy = load_balance

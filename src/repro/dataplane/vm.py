@@ -17,7 +17,6 @@ thread moves a descriptor, which is the heartbeat the watchdog in
 
 from __future__ import annotations
 
-import itertools
 import typing
 
 from repro.dataplane.costs import HostCosts
@@ -29,8 +28,6 @@ from repro.sim.events import Interrupt
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.dataplane.manager import NfManager
 
-_vm_ids = itertools.count()
-
 
 class NfVm:
     """One VM thread hosting a network function."""
@@ -41,7 +38,12 @@ class NfVm:
         self.manager = manager
         self.sim = manager.sim
         self.nf = nf
-        self.vm_id = f"vm{next(_vm_ids)}-{nf.service_id}"
+        # VM ids are minted per manager, not from a module-global counter:
+        # they name rings, TX assignments, and per-VM RNG streams, so they
+        # must depend only on this host's registration order (a sharded
+        # run builds hosts in a different global order than a monolithic
+        # one, but each host sees the same local sequence).
+        self.vm_id = f"vm{next(manager._vm_ids)}-{nf.service_id}"
         self.priority = priority
         self.rx_ring = RingBuffer(self.sim, name=f"{self.vm_id}/rx",
                                   slots=ring_slots)

@@ -35,7 +35,8 @@ class FaultInjector:
     def __init__(self, sim: Simulator, plan: FaultPlan,
                  hosts: typing.Iterable[NfvHost] = (),
                  controller: typing.Any | None = None,
-                 app: typing.Any | None = None) -> None:
+                 app: typing.Any | None = None,
+                 only_hosts: typing.Iterable[str] | None = None) -> None:
         self.sim = sim
         self.plan = plan
         self.hosts: dict[str, NfvHost] = {host.name: host for host in hosts}
@@ -45,6 +46,10 @@ class FaultInjector:
             if controller is None:
                 controller = getattr(app, "controller", None)
         self.controller = controller
+        # Shard routing: arm only the faults targeting these hosts.
+        # Fire times stay a pure function of (plan seed, plan index), so
+        # subsetting by owner never shifts when a fault fires.
+        self.only_hosts = None if only_hosts is None else set(only_hosts)
         self.fired: list[tuple[int, Fault]] = []
         self.skipped: list[tuple[int, Fault, str]] = []
         self._armed = False
@@ -60,6 +65,10 @@ class FaultInjector:
             if fire_ns < self.sim.now:
                 raise ValueError(
                     f"fault {index} fires at {fire_ns} ns, in the past")
+            if self.only_hosts is not None:
+                target = getattr(fault, "host", None)
+                if target is None or target not in self.only_hosts:
+                    continue
             timetable.append((fire_ns, fault))
             self.sim.schedule(fire_ns - self.sim.now,
                               lambda fault=fault: self._fire(fault))

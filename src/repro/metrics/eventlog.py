@@ -79,3 +79,21 @@ class EventLog:
         """Readable timeline (optionally filtered)."""
         return "\n".join(str(event)
                          for event in self.filter(**filter_kw))
+
+
+def merge_events(per_shard: typing.Sequence[
+        typing.Sequence[ControlEvent]]) -> list[ControlEvent]:
+    """Deterministically merge per-shard event streams.
+
+    Order: timestamp first, then shard id, then each shard's own append
+    order.  Every input stream is already time-sorted (append-only logs
+    of a monotonic clock), so the merge is total and reproducible — the
+    same shard outputs always produce the same global timeline, whatever
+    order the shards finished in.
+    """
+    merged: list[tuple[int, int, int, ControlEvent]] = []
+    for shard_id, events in enumerate(per_shard):
+        merged.extend((event.timestamp_ns, shard_id, position, event)
+                      for position, event in enumerate(events))
+    merged.sort(key=lambda item: item[:3])
+    return [item[3] for item in merged]

@@ -41,6 +41,13 @@ class FiveTuple:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("FiveTuple is immutable")
 
+    def __reduce__(self):
+        # Slot-state pickling would go through __setattr__ (which raises);
+        # rebuild through __init__ instead.  The cached hash/int-key are
+        # recomputed lazily on the other side.
+        return (FiveTuple, (self.src_ip, self.dst_ip, self.protocol,
+                            self.src_port, self.dst_port))
+
     def __eq__(self, other) -> bool:
         if other.__class__ is not FiveTuple:
             return NotImplemented

@@ -1,0 +1,696 @@
+"""Sharded parallel simulation: per-host-group event lanes behind one API.
+
+The single-threaded kernel (:mod:`repro.sim.simulator`) serializes every
+host of a multi-host run through one event heap.  This module partitions
+a topology's NFV hosts into *shards* — each shard a complete, private
+simulation (its own :class:`~repro.sim.simulator.Simulator`, its own
+hosts, fabric, packet pools, event log) — and runs them in conservative
+lockstep:
+
+- **Lookahead window.**  The minimum propagation delay of any link that
+  crosses a shard boundary is a hard lower bound on how soon one shard
+  can affect another.  All shards advance in barrier-synchronized
+  windows of that width (null-message/LBTS style): a frame transmitted
+  at ``t`` inside window ``[W, W+L)`` arrives at ``t + delay >= W + L``,
+  so delivering captured frames at each barrier can never violate
+  causality.
+
+- **Boundary events.**  Frames leaving a shard are serialized to plain
+  tuples (flow fields, size, payload, timestamps) — never object
+  references — and rebuilt from the destination host's packet pool on
+  the owning shard.  The same codec runs in-process (``workers=0``) and
+  over ``multiprocessing`` pipes, so a worker run is bit-equal to the
+  debuggable in-process run.
+
+- **Determinism.**  Boundary events are globally sorted by
+  ``(arrival time, source shard, capture order)`` before delivery, and
+  per-shard event logs merge by ``(timestamp, shard id, append order)``
+  (:func:`repro.metrics.eventlog.merge_events`).  ``shards=1`` runs the
+  identical construction with no boundaries at all and is byte-identical
+  to a hand-built single-kernel run — pinned by the golden-parity suite.
+
+Known limit: two boundary frames from *different* source shards arriving
+at the same destination in the same nanosecond are ordered by source
+shard, where the monolithic kernel would use global schedule order; all
+per-host counters remain invariant, but exact event interleaving at such
+collisions may differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.app import SdnfvApp
+from repro.core.service_graph import ServiceGraph
+from repro.dataplane.costs import HostCosts
+from repro.dataplane.manager import DEFAULT_BURST_SIZE
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ControllerOutage, FaultPlan
+from repro.metrics.eventlog import ControlEvent, EventLog, merge_events
+from repro.net.flow import FiveTuple
+from repro.net.mempool import DEFAULT_POOL_SIZE
+from repro.net.packet import Packet
+from repro.nfs import NoOpNf
+from repro.sim.simulator import Simulator
+from repro.topology.builder import BoundaryWire, BuiltNetwork, build_network
+from repro.topology.nodes import NodeKind
+from repro.topology.topology import Topology
+from repro.workloads.pktgen import FlowSpec, PktGen
+
+__all__ = [
+    "Scenario",
+    "ShardPlan",
+    "ShardRuntime",
+    "ShardedRunResult",
+    "ShardedSimulator",
+    "TrafficSpec",
+]
+
+
+class ScenarioError(ValueError):
+    """The scenario cannot run (invalid placement, traffic, or faults)."""
+
+
+@dataclasses.dataclass
+class TrafficSpec:
+    """One generated flow, injected at ``host``'s ingress port.
+
+    The picklable subset of :class:`repro.workloads.pktgen.FlowSpec`
+    (callable payloads are excluded so specs can cross worker
+    boundaries), plus the injection host.
+    """
+
+    host: str
+    flow: FiveTuple
+    rate_mbps: float
+    packet_size: int = 64
+    start_ns: int = 0
+    stop_ns: int | None = None
+    pacing: str = "uniform"
+    payload: str = ""
+
+
+@dataclasses.dataclass
+class Scenario:
+    """A complete, self-contained description of one multi-host run.
+
+    Everything a shard needs to rebuild its share of the world: the
+    topology, the placed service graph, NF factories (callables taking
+    the service id — classes like :class:`repro.nfs.NoOpNf` work as-is),
+    traffic, faults, and the normalized construction kwargs shared with
+    :func:`repro.topology.build_network` and :class:`NfvHost`.  Must be
+    picklable for ``workers > 0``.
+    """
+
+    topology: Topology
+    graph: ServiceGraph
+    placement: dict[str, str]
+    duration_ns: int
+    traffic: list[TrafficSpec] = dataclasses.field(default_factory=list)
+    nf_factory: typing.Callable[[str], typing.Any] = NoOpNf
+    nf_factories: dict[str, typing.Callable[[str], typing.Any]] = (
+        dataclasses.field(default_factory=dict))
+    fault_plan: FaultPlan | None = None
+    costs: HostCosts | None = None
+    ingress_port: str = "eth0"
+    exit_port: str = "eth1"
+    line_rate_gbps: float = 10.0
+    burst_size: int = DEFAULT_BURST_SIZE
+    pool_size: int = DEFAULT_POOL_SIZE
+    seed: int = 0
+    ring_slots: int = 512
+    pktgen_seed: int = 42
+
+    def nfv_hosts(self) -> tuple[str, ...]:
+        return tuple(name for name in self.topology.node_names
+                     if self.topology.node(name).kind is NodeKind.NFV_HOST)
+
+    def validate(self) -> None:
+        self.graph.validate()
+        if self.duration_ns <= 0:
+            raise ScenarioError("duration_ns must be positive")
+        hosts = set(self.nfv_hosts())
+        if not hosts:
+            raise ScenarioError("topology has no NFV hosts")
+        for service in self.graph.services:
+            placed = self.placement.get(service)
+            if placed is None:
+                raise ScenarioError(f"service {service!r} has no placement")
+            if placed not in hosts:
+                raise ScenarioError(
+                    f"{service!r} placed on unknown host {placed!r}")
+        for spec in self.traffic:
+            if spec.host not in hosts:
+                raise ScenarioError(
+                    f"traffic targets unknown host {spec.host!r}")
+        if self.fault_plan is not None:
+            for fault in self.fault_plan:
+                if isinstance(fault, ControllerOutage):
+                    raise ScenarioError(
+                        "ControllerOutage cannot be sharded: scenario "
+                        "runs have no controller")
+                target = getattr(fault, "host", None)
+                if target is None:
+                    raise ScenarioError(
+                        f"fault {fault!r} needs an explicit host= so it "
+                        "can be routed to its owning shard")
+                if target not in hosts:
+                    raise ScenarioError(
+                        f"fault targets unknown host {target!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """Host-group partition plus the conservative lookahead window.
+
+    ``groups[i]`` is the tuple of host names shard ``i`` owns.
+    ``lookahead_ns`` is the minimum delay of any shard-crossing link
+    (None when no link crosses a boundary — single shard, or fully
+    disconnected groups — in which case one window covers the run).
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    lookahead_ns: int | None
+
+    @classmethod
+    def compute(cls, topology: Topology, shards: int) -> ShardPlan:
+        """Contiguous balanced partition of the NFV hosts in node order.
+
+        Contiguity in node order keeps neighboring hosts of line-ish
+        topologies co-sharded, minimizing boundary crossings.
+        """
+        hosts = [name for name in topology.node_names
+                 if topology.node(name).kind is NodeKind.NFV_HOST]
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if shards > len(hosts):
+            raise ValueError(
+                f"{shards} shards for {len(hosts)} NFV hosts; at most "
+                "one shard per host")
+        groups: list[tuple[str, ...]] = []
+        start = 0
+        for index in range(shards):
+            size = len(hosts) // shards + (
+                1 if index < len(hosts) % shards else 0)
+            groups.append(tuple(hosts[start:start + size]))
+            start += size
+        plan = cls(groups=tuple(groups),
+                   lookahead_ns=_min_crossing_delay(topology, groups))
+        return plan
+
+    def owners(self) -> dict[str, int]:
+        """host name -> owning shard index."""
+        return {host: index
+                for index, group in enumerate(self.groups)
+                for host in group}
+
+    def validate_for(self, topology: Topology) -> None:
+        """A manually-built plan must cover every NFV host exactly once
+        and must not claim a lookahead larger than the links allow."""
+        hosts = [name for name in topology.node_names
+                 if topology.node(name).kind is NodeKind.NFV_HOST]
+        owned = [host for group in self.groups for host in group]
+        if sorted(owned) != sorted(set(owned)):
+            raise ValueError("plan assigns a host to more than one shard")
+        if set(owned) != set(hosts):
+            raise ValueError(
+                "plan must cover every NFV host exactly once")
+        bound = _min_crossing_delay(topology, self.groups)
+        if bound is None:
+            if self.lookahead_ns is not None:
+                raise ValueError(
+                    "no shard-crossing links; lookahead_ns must be None")
+        elif self.lookahead_ns is None or self.lookahead_ns > bound:
+            raise ValueError(
+                f"lookahead_ns must be at most {bound} (the minimum "
+                "shard-crossing link delay)")
+
+
+def _min_crossing_delay(topology: Topology,
+                        groups: typing.Sequence[tuple[str, ...]]
+                        ) -> int | None:
+    owner = {host: index
+             for index, group in enumerate(groups) for host in group}
+    crossing = [link.delay_ns for link in topology.links
+                if link.a in owner and link.b in owner
+                and owner[link.a] != owner[link.b]]
+    if not crossing:
+        return None
+    lookahead = min(crossing)
+    if lookahead < 1:
+        raise ValueError(
+            "a zero-delay link crosses a shard boundary; conservative "
+            "synchronization needs every crossing delay >= 1 ns")
+    return lookahead
+
+
+def _flow_key(flow: FiveTuple) -> tuple[str, str, int, int, int]:
+    return (flow.src_ip, flow.dst_ip, flow.protocol,
+            flow.src_port, flow.dst_port)
+
+
+class ShardRuntime:
+    """One shard: a private kernel running its owned hosts end to end.
+
+    Builds the shard's share of the scenario — hosts, NFs, rules,
+    traffic, faults — from the *same global plan* every other shard
+    compiles, so per-host construction order (and therefore every
+    host-local RNG stream, VM id, and ring name) is identical whether
+    the host runs monolithically or sharded.
+
+    Cross-shard traffic leaves through :class:`BoundaryWire` egress
+    hooks as serialized tuples and enters via :meth:`deliver`; no object
+    in this runtime is ever reachable from another shard.
+    """
+
+    def __init__(self, scenario: Scenario, plan: ShardPlan,
+                 shard_id: int) -> None:
+        self.scenario = scenario
+        self.plan = plan
+        self.shard_id = shard_id
+        self.owned: tuple[str, ...] = plan.groups[shard_id]
+        sim = self.sim = Simulator()
+        self.network: BuiltNetwork = build_network(
+            sim, scenario.topology, costs=scenario.costs,
+            ingress_port=scenario.ingress_port,
+            exit_port=scenario.exit_port,
+            line_rate_gbps=scenario.line_rate_gbps,
+            burst_size=scenario.burst_size,
+            pool_size=scenario.pool_size,
+            seed=scenario.seed,
+            only_hosts=self.owned)
+        self.event_log = EventLog(sim)
+        self.app = SdnfvApp(sim)
+        for host in self.network.hosts.values():
+            self.app.register_host(host)
+            host.manager.event_log = self.event_log
+
+        # NFs in global graph order: each host sees the same local
+        # registration sequence (hence the same vm ids and RNG streams)
+        # at every shard count.
+        for service in scenario.graph.services:
+            host = self.network.hosts.get(scenario.placement[service])
+            if host is None:
+                continue
+            factory = scenario.nf_factories.get(service,
+                                                scenario.nf_factory)
+            host.add_nf(factory(service), ring_slots=scenario.ring_slots)
+
+        self.app.deploy(scenario.graph,
+                        ingress_port=scenario.ingress_port,
+                        exit_port=scenario.exit_port,
+                        placement=scenario.placement,
+                        network=self.network)
+
+        # Per-host traffic generation and exit-side measurement.
+        self.gens: dict[str, PktGen] = {}
+        self.deliveries: dict[str, list] = {}
+        for name, host in self.network.hosts.items():
+            gen = PktGen(sim, host,
+                         ingress_port=scenario.ingress_port,
+                         measure_ports=(scenario.exit_port,),
+                         seed=scenario.pktgen_seed)
+            self.gens[name] = gen
+            self.deliveries[name] = []
+            self._record_deliveries(host, name)
+        for spec in scenario.traffic:
+            gen = self.gens.get(spec.host)
+            if gen is None:
+                continue
+            gen.add_flow(FlowSpec(
+                flow=spec.flow, rate_mbps=spec.rate_mbps,
+                packet_size=spec.packet_size, start_ns=spec.start_ns,
+                stop_ns=spec.stop_ns, payload=spec.payload,
+                pacing=spec.pacing))
+
+        # Fault injection routed to the owning shard: only faults whose
+        # host this shard realizes are armed, at plan-index-pure times.
+        self.injector: FaultInjector | None = None
+        if scenario.fault_plan is not None:
+            self.injector = FaultInjector(
+                sim, scenario.fault_plan,
+                hosts=self.network.hosts.values(),
+                only_hosts=self.owned)
+            self.injector.arm()
+
+        # Boundary egress capture.
+        self._outbox: list[tuple] = []
+        self._boundary_seq = 0
+        self.boundary_tx = 0
+        self.boundary_frames_carried = 0
+        self.boundary_dropped_at_rx = 0
+        for wire in self.network.boundary_wires:
+            port = self.network.hosts[wire.src_host].port(wire.src_port)
+            if port.on_egress is not None:
+                raise RuntimeError(
+                    f"boundary port {wire.src_host}:{wire.src_port} "
+                    "already hooked")
+            port.on_egress = (
+                lambda packet, w=wire: self._capture(w, packet))
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _record_deliveries(self, host: typing.Any, name: str) -> None:
+        port = host.port(self.scenario.exit_port)
+        measured = port.on_egress  # PktGen._on_return
+        sink = self.deliveries[name]
+        sim = self.sim
+
+        def recording_hook(packet: Packet) -> None:
+            sink.append((sim.now, packet.created_at,
+                         _flow_key(packet.flow)))
+            measured(packet)
+
+        port.on_egress = recording_hook
+
+    # ------------------------------------------------------------------
+    # Boundary codec
+    # ------------------------------------------------------------------
+    def _capture(self, wire: BoundaryWire, packet: Packet) -> None:
+        """Serialize an egressing frame into a boundary event.
+
+        Mirrors the measurement sink's ownership contract: the local
+        buffer is reclaimed here (it never crosses the boundary); the
+        destination shard allocates a fresh buffer from *its* host's
+        pool.  Only pool telemetry differs from the monolithic run.
+        """
+        flow = packet.flow
+        annotations = packet._annotations
+        encoded_annotations = (tuple(sorted(annotations.items()))
+                               if annotations else None)
+        self._boundary_seq += 1
+        self._outbox.append((
+            self.sim.now + wire.delay_ns, self._boundary_seq,
+            wire.dst_host, wire.dst_port,
+            flow.src_ip, flow.dst_ip, flow.protocol,
+            flow.src_port, flow.dst_port,
+            packet.size, packet.payload, packet.created_at,
+            encoded_annotations))
+        self.boundary_tx += 1
+        pool = packet.pool
+        if pool is not None and packet.ref_count == 0:
+            pool.reclaim(packet)
+
+    def deliver(self, events: typing.Sequence[tuple]) -> None:
+        """Schedule inbound boundary events (already globally sorted by
+        arrival time, source shard, capture order)."""
+        now = self.sim.now
+        for event in events:
+            self.sim.call_later(event[0] - now, self._deliver_one, event)
+
+    def _deliver_one(self, event: tuple) -> None:
+        (_arrive, _seq, dst_host, dst_port, src_ip, dst_ip, protocol,
+         src_port, dst_port_num, size, payload, created_at,
+         annotations) = event
+        host = self.network.hosts[dst_host]
+        flow = FiveTuple(src_ip, dst_ip, protocol, src_port, dst_port_num)
+        pool = host.packet_pool
+        if pool is not None:
+            packet = pool.alloc(flow=flow, size=size, payload=payload,
+                                created_at=created_at)
+        else:
+            packet = Packet(flow=flow, size=size, payload=payload,
+                            created_at=created_at)
+        if annotations:
+            packet._annotations = dict(annotations)
+        self.boundary_frames_carried += 1
+        accepted = host.inject(dst_port, packet)
+        if not accepted:
+            self.boundary_dropped_at_rx += 1
+
+    # ------------------------------------------------------------------
+    # Conductor interface
+    # ------------------------------------------------------------------
+    def advance(self, until_ns: int) -> None:
+        self.sim.run(until=until_ns)
+
+    def take_outbox(self) -> list[tuple]:
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+    def collect(self) -> dict:
+        """Everything observable, as picklable primitives."""
+        hosts: dict[str, dict] = {}
+        for name, host in self.network.hosts.items():
+            gen = self.gens[name]
+            hosts[name] = {
+                "summary": host.stats.summary(),
+                "deliveries": self.deliveries[name],
+                "latency_samples": list(gen.latency.samples_ns),
+                "sent": gen.sent,
+                "received": gen.received,
+                "rx_gbps": gen.rx_meter.mean_gbps(),
+            }
+        fired: list[tuple] = []
+        skipped: list[tuple] = []
+        if self.injector is not None:
+            fired = [(when, type(fault).__name__,
+                      getattr(fault, "host", None), fault.at_ns)
+                     for when, fault in self.injector.fired]
+            skipped = [(when, type(fault).__name__, reason)
+                       for when, fault, reason in self.injector.skipped]
+        return {
+            "shard": self.shard_id,
+            "hosts": hosts,
+            "events": list(self.event_log.events),
+            "fired_faults": fired,
+            "skipped_faults": skipped,
+            "events_scheduled": self.sim.events_scheduled,
+            "timers_scheduled": self.sim.timers_scheduled,
+            "events_cancelled": self.sim.events_cancelled,
+            "frames_carried": self.network.fabric.frames_carried,
+            "frames_dropped_at_rx": (
+                self.network.fabric.frames_dropped_at_rx),
+            "boundary_tx": self.boundary_tx,
+            "boundary_frames_carried": self.boundary_frames_carried,
+            "boundary_dropped_at_rx": self.boundary_dropped_at_rx,
+        }
+
+
+class ShardedRunResult:
+    """Merged observables of a sharded run."""
+
+    def __init__(self, plan: ShardPlan,
+                 shard_results: list[dict]) -> None:
+        self.plan = plan
+        self.shard_results = shard_results
+        self.hosts: dict[str, dict] = {}
+        for result in shard_results:
+            self.hosts.update(result["hosts"])
+        #: Global control-event timeline: timestamp, then shard id, then
+        #: each shard's own append order.
+        self.events: list[ControlEvent] = merge_events(
+            [result["events"] for result in shard_results])
+        self.fired_faults: list[tuple] = sorted(
+            fault for result in shard_results
+            for fault in result["fired_faults"])
+
+    @property
+    def sent(self) -> int:
+        return sum(host["sent"] for host in self.hosts.values())
+
+    @property
+    def received(self) -> int:
+        return sum(host["received"] for host in self.hosts.values())
+
+    def host_summary(self, name: str) -> dict[str, int]:
+        return self.hosts[name]["summary"]
+
+    def deliveries(self, name: str) -> list[tuple]:
+        return self.hosts[name]["deliveries"]
+
+    def totals(self) -> dict[str, int]:
+        """Network-wide conservation totals, invariant in shard count."""
+        keys = ("rx_packets", "tx_packets", "dropped_ring_full",
+                "dropped_by_nf", "dropped_no_rule", "dropped_no_vm",
+                "nic_rx_dropped", "nic_link_dropped", "lost_in_nf",
+                "requeued_packets", "degraded_packets")
+        out = {key: sum(host["summary"][key]
+                        for host in self.hosts.values())
+               for key in keys}
+        out["sent"] = self.sent
+        out["received"] = self.received
+        out["frames_carried"] = sum(
+            result["frames_carried"] + result["boundary_frames_carried"]
+            for result in self.shard_results)
+        out["frames_dropped_at_rx"] = sum(
+            result["frames_dropped_at_rx"]
+            + result["boundary_dropped_at_rx"]
+            for result in self.shard_results)
+        return out
+
+
+class ShardedSimulator:
+    """Run a :class:`Scenario` over one or more conservative shards.
+
+    ``workers=0`` runs every shard in-process (deterministic, fully
+    debuggable); ``workers=N`` spreads the shards over N
+    ``multiprocessing`` workers with the identical window/boundary
+    protocol.  ``shards=1`` is byte-identical to the monolithic kernel.
+    """
+
+    def __init__(self, scenario: Scenario, shards: int = 1,
+                 workers: int = 0,
+                 plan: ShardPlan | None = None) -> None:
+        scenario.validate()
+        self.scenario = scenario
+        if plan is None:
+            plan = ShardPlan.compute(scenario.topology, shards)
+        else:
+            plan.validate_for(scenario.topology)
+        self.plan = plan
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = min(workers, len(plan.groups))
+
+    # ------------------------------------------------------------------
+    def run(self) -> ShardedRunResult:
+        if self.workers == 0:
+            shard_results = self._run_inline()
+        else:
+            shard_results = self._run_workers()
+        return ShardedRunResult(self.plan, shard_results)
+
+    # ------------------------------------------------------------------
+    # Window schedule and boundary routing (shared by both modes)
+    # ------------------------------------------------------------------
+    def _windows(self) -> list[int]:
+        duration = self.scenario.duration_ns
+        lookahead = self.plan.lookahead_ns
+        if len(self.plan.groups) == 1 or lookahead is None:
+            return [duration]
+        edges = list(range(lookahead, duration, lookahead))
+        edges.append(duration)
+        return edges
+
+    def _route(self, tagged: list[tuple[int, tuple]]
+               ) -> dict[int, list[tuple]]:
+        """Sort captured events deterministically and bucket them by the
+        destination host's owning shard."""
+        owners = self.plan.owners()
+        tagged.sort(key=lambda item: (item[1][0], item[0], item[1][1]))
+        inbound: dict[int, list[tuple]] = {}
+        for _src_shard, event in tagged:
+            inbound.setdefault(owners[event[2]], []).append(event)
+        return inbound
+
+    # ------------------------------------------------------------------
+    # workers=0: every shard in this process
+    # ------------------------------------------------------------------
+    def _run_inline(self) -> list[dict]:
+        runtimes = [ShardRuntime(self.scenario, self.plan, index)
+                    for index in range(len(self.plan.groups))]
+        for upto in self._windows():
+            for runtime in runtimes:
+                runtime.advance(upto)
+            tagged = [(runtime.shard_id, event)
+                      for runtime in runtimes
+                      for event in runtime.take_outbox()]
+            if tagged:
+                for shard_id, events in self._route(tagged).items():
+                    runtimes[shard_id].deliver(events)
+        return [runtime.collect() for runtime in runtimes]
+
+    # ------------------------------------------------------------------
+    # workers=N: shards spread over processes, same protocol
+    # ------------------------------------------------------------------
+    def _run_workers(self) -> list[dict]:
+        import multiprocessing
+
+        count = len(self.plan.groups)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context("spawn")
+        assignment = {worker: [index for index in range(count)
+                               if index % self.workers == worker]
+                      for worker in range(self.workers)}
+        pipes: dict[int, typing.Any] = {}
+        procs: dict[int, typing.Any] = {}
+        for worker, shard_ids in assignment.items():
+            parent, child = context.Pipe()
+            proc = context.Process(
+                target=_shard_worker,
+                args=(child, self.scenario, self.plan, shard_ids),
+                daemon=True)
+            proc.start()
+            child.close()
+            pipes[worker] = parent
+            procs[worker] = proc
+        try:
+            pending: dict[int, list[tuple]] = {}
+            for upto in self._windows():
+                for worker, shard_ids in assignment.items():
+                    inbound = {shard_id: pending.get(shard_id, [])
+                               for shard_id in shard_ids}
+                    pipes[worker].send(("advance", upto, inbound))
+                tagged: list[tuple[int, tuple]] = []
+                for worker in assignment:
+                    payload = self._receive(pipes[worker])
+                    for shard_id, events in payload.items():
+                        tagged.extend((shard_id, event)
+                                      for event in events)
+                pending = self._route(tagged) if tagged else {}
+            for worker in assignment:
+                pipes[worker].send(("finish",))
+            results: dict[int, dict] = {}
+            for worker in assignment:
+                results.update(self._receive(pipes[worker]))
+            return [results[index] for index in range(count)]
+        finally:
+            for pipe in pipes.values():
+                pipe.close()
+            for proc in procs.values():
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+
+    @staticmethod
+    def _receive(pipe: typing.Any) -> typing.Any:
+        kind, payload = pipe.recv()
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+
+def _shard_worker(conn: typing.Any, scenario: Scenario, plan: ShardPlan,
+                  shard_ids: list[int]) -> None:
+    """Worker process: owns one or more shards, speaks the pipe protocol.
+
+    Messages in: ``("advance", until_ns, {shard: inbound_events})`` and
+    ``("finish",)``.  Replies: ``("ok", {shard: outbox})``,
+    ``("result", {shard: collected})``, or ``("error", traceback)``.
+    """
+    try:
+        runtimes = {shard_id: ShardRuntime(scenario, plan, shard_id)
+                    for shard_id in shard_ids}
+        while True:
+            message = conn.recv()
+            if message[0] == "advance":
+                _kind, until_ns, inbound = message
+                outboxes: dict[int, list[tuple]] = {}
+                for shard_id, runtime in runtimes.items():
+                    events = inbound.get(shard_id)
+                    if events:
+                        runtime.deliver(events)
+                    runtime.advance(until_ns)
+                    outboxes[shard_id] = runtime.take_outbox()
+                conn.send(("ok", outboxes))
+            elif message[0] == "finish":
+                conn.send(("result",
+                           {shard_id: runtime.collect()
+                            for shard_id, runtime in runtimes.items()}))
+                return
+            else:
+                raise ValueError(f"unknown message {message[0]!r}")
+    except BaseException:  # propagate the real traceback to the parent
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()

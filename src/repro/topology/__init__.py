@@ -1,6 +1,6 @@
 """Network topology substrate: nodes, links, graphs, generators."""
 
-from repro.topology.builder import BuiltNetwork, build_network
+from repro.topology.builder import BoundaryWire, BuiltNetwork, build_network
 from repro.topology.fabric import Fabric, Wire
 from repro.topology.links import Link
 from repro.topology.nodes import NodeKind, NodeSpec
@@ -8,6 +8,7 @@ from repro.topology.rocketfuel import rocketfuel_like
 from repro.topology.topology import Topology
 
 __all__ = [
+    "BoundaryWire",
     "BuiltNetwork",
     "Fabric",
     "Link",

@@ -1,4 +1,6 @@
-"""deploy_distributed: service graphs spanning arbitrary topologies."""
+"""Network-wide deployment: service graphs spanning arbitrary
+topologies through the unified ``SdnfvApp.deploy(..., network=)`` path
+(plus the deprecated ``deploy_distributed`` shim)."""
 
 import pytest
 
@@ -73,9 +75,7 @@ class TestAdjacentHosts:
         services = ["a", "b"]
         placement = {"a": "h0", "b": "h1"}
         graph = linear_graph(services)
-        # NFs must exist before parallel-chain registration is attempted.
-        out, nfs = None, None
-        deploy_distributed(app, network, graph, placement)
+        app.deploy(graph, placement=placement, network=network)
         out, nfs = run_chain(sim, network, placement, services)
         assert len(out) == 5
         assert nfs["a"].packets_seen == 5
@@ -89,8 +89,8 @@ class TestMultiHopPlacement:
         app, network = env(3)
         services = ["a", "b"]
         placement = {"a": "h0", "b": "h2"}
-        deploy_distributed(app, network, linear_graph(services),
-                           placement)
+        app.deploy(linear_graph(services), placement=placement,
+                   network=network)
         out, nfs = run_chain(sim, network, placement, services)
         assert len(out) == 5
         # h1 forwarded but hosted no NF work.
@@ -103,8 +103,8 @@ class TestMultiHopPlacement:
         app, network = env(3)
         services = ["a", "b", "c"]
         placement = {"a": "h0", "b": "h2", "c": "h0"}
-        deploy_distributed(app, network, linear_graph(services),
-                           placement)
+        app.deploy(linear_graph(services), placement=placement,
+                   network=network)
         out, nfs = run_chain(sim, network, placement, services)
         assert len(out) == 5
         assert all(nf.packets_seen == 5 for nf in nfs.values())
@@ -115,13 +115,19 @@ class TestValidationAndConflicts:
         app, network = env(2)
         graph = linear_graph(["a", "b"])
         with pytest.raises(DistributedDeploymentError, match="placement"):
-            deploy_distributed(app, network, graph, {"a": "h0"})
+            app.deploy(graph, placement={"a": "h0"}, network=network)
 
     def test_unknown_host_rejected(self, sim, env):
         app, network = env(2)
         graph = linear_graph(["a"])
         with pytest.raises(DistributedDeploymentError, match="unknown"):
-            deploy_distributed(app, network, graph, {"a": "ghost"})
+            app.deploy(graph, placement={"a": "ghost"}, network=network)
+
+    def test_network_deploy_requires_placement(self, sim, env):
+        app, network = env(2)
+        graph = linear_graph(["a"])
+        with pytest.raises(DistributedDeploymentError, match="placement"):
+            app.deploy(graph, network=network)
 
     def test_arrival_port_conflict_detected(self, sim, env):
         """Two services on h1 each fed from h0 would need the same
@@ -138,7 +144,7 @@ class TestValidationAndConflicts:
         graph.set_entry("src")
         placement = {"src": "h0", "left": "h1", "right": "h1"}
         with pytest.raises(DistributedDeploymentError, match="share"):
-            deploy_distributed(app, network, graph, placement)
+            app.deploy(graph, placement=placement, network=network)
 
     def test_parallel_chain_registered_when_colocated(self, sim, env):
         app, network = env(2)
@@ -146,8 +152,8 @@ class TestValidationAndConflicts:
         placement = {"a": "h0", "b": "h0"}
         for service in services:
             network.hosts["h0"].add_nf(CounterNf(service))
-        deploy_distributed(app, network, linear_graph(services),
-                           placement)
+        app.deploy(linear_graph(services), placement=placement,
+                   network=network)
         assert network.hosts["h0"].manager._parallel_chains.get(
             "a") == ["a", "b"]
 
@@ -155,7 +161,21 @@ class TestValidationAndConflicts:
         app, network = env(2)
         services = ["a", "b"]
         placement = {"a": "h0", "b": "h1"}
-        deploy_distributed(app, network, linear_graph(services),
-                           placement)
+        app.deploy(linear_graph(services), placement=placement,
+                   network=network)
         assert not network.hosts["h0"].manager._parallel_chains
         assert not network.hosts["h1"].manager._parallel_chains
+
+
+class TestDeprecatedShim:
+    def test_deploy_distributed_warns_and_delegates(self, sim, env):
+        app, network = env(2)
+        services = ["a", "b"]
+        placement = {"a": "h0", "b": "h1"}
+        with pytest.warns(DeprecationWarning,
+                          match=r"deploy\(graph, placement"):
+            deploy_distributed(app, network, linear_graph(services),
+                               placement)
+        out, nfs = run_chain(sim, network, placement, services)
+        assert len(out) == 5
+        assert app.deployments

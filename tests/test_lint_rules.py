@@ -143,6 +143,48 @@ class TestSim004NfHandlerPurity:
         assert violations(good, "SIM004") == []
 
 
+class TestSim005CrossShardSharing:
+    SHARDED = "src/repro/sim/sharded.py"
+
+    def sharded_violations(self, source: str, path: str | None = None):
+        found = lint_source(textwrap.dedent(source),
+                            path=path or self.SHARDED, select=["SIM005"])
+        assert all(v.rule_id == "SIM005" for v in found)
+        return found
+
+    def test_rejects_reaching_into_another_shards_objects(self):
+        bad = """
+            def steal(runtimes, i):
+                host = runtimes[i].network.hosts["h0"]
+                pool = runtimes[i].gens
+                shards[0].manager.install_rule(None)
+        """
+        found = self.sharded_violations(bad)
+        assert len(found) == 3
+        assert "runtimes[...].network" in found[0].message
+        assert "runtimes[...].gens" in found[1].message
+        assert "shards[...].manager" in found[2].message
+
+    def test_accepts_the_serialized_conductor_protocol(self):
+        good = """
+            def window(runtimes, upto, routed):
+                for runtime in runtimes:
+                    runtime.advance(upto)
+                for shard_id, events in routed.items():
+                    runtimes[shard_id].deliver(events)
+                return [runtimes[i].collect() for i in range(len(runtimes))]
+        """
+        assert self.sharded_violations(good) == []
+
+    def test_rule_is_scoped_to_the_sharded_kernel_module(self):
+        elsewhere = """
+            def fine(runtimes, i):
+                return runtimes[i].network
+        """
+        assert self.sharded_violations(elsewhere,
+                                       path="src/repro/core/app.py") == []
+
+
 class TestOwn001BufferBalance:
     def test_rejects_leaky_branch(self):
         bad = """
@@ -247,9 +289,9 @@ class TestEngine:
                             path="pkg/mod.py")
         assert str(found[0]).startswith("pkg/mod.py:2:5: SIM001")
 
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(RULES) == {"SIM001", "SIM002", "SIM003", "SIM004",
-                              "OWN001", "FLOW001"}
+                              "SIM005", "OWN001", "FLOW001"}
 
 
 class TestSelfLint:

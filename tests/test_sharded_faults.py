@@ -1,0 +1,88 @@
+"""Cross-shard fault injection: a fault lands on its owning shard and
+produces the same observables as the monolithic (``shards=1``) run.
+
+The reference scenario splits 4 hosts over 2 shards as (h0, h1) and
+(h2, h3); both faults target hosts owned by the *second* shard, so the
+injection must be routed across the partition boundary and still fire
+at the exact same nanosecond with the exact same effect.
+"""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, LinkFlap, NfCrash
+from repro.sim import MS
+from repro.sim.sharded import ShardedSimulator
+
+from tests.test_sharded_parity import make_scenario, strip_pool
+
+HOSTS = ("h0", "h1", "h2", "h3")
+
+
+def faulted_scenario():
+    scenario = make_scenario()
+    plan = FaultPlan()
+    # Both targets live on shard 1 of the 2-shard split.  The flap
+    # fires first, on the port where h2's frames *arrive* at h3 (drops
+    # happen at the receiving NIC); the crash then starves the rest of
+    # the run at h2.
+    plan.add(LinkFlap(at_ns=2 * MS, port="to-h2", host="h3",
+                      down_ns=MS))
+    plan.add(NfCrash(at_ns=4 * MS, service="c", host="h2"))
+    scenario.fault_plan = plan
+    return scenario
+
+
+@pytest.fixture(scope="module")
+def runs():
+    from tests.test_sharded_parity import DEFAULT_WORKERS
+    base = ShardedSimulator(faulted_scenario(), shards=1).run()
+    split = ShardedSimulator(faulted_scenario(), shards=2,
+                             workers=DEFAULT_WORKERS).run()
+    return base, split
+
+
+class TestCrossShardFaults:
+    def test_faults_fire_on_the_owning_shard(self, runs):
+        _base, split = runs
+        assert split.plan.groups == (("h0", "h1"), ("h2", "h3"))
+        assert split.shard_results[0]["fired_faults"] == []
+        fired = split.shard_results[1]["fired_faults"]
+        assert [(kind, host) for _, kind, host, _ in fired] \
+            == [("LinkFlap", "h3"), ("NfCrash", "h2")]
+
+    def test_fired_timetable_matches_single_shard(self, runs):
+        base, split = runs
+        assert split.fired_faults == base.fired_faults
+        assert len(split.fired_faults) == 2
+
+    def test_fault_observables_match_single_shard(self, runs):
+        base, split = runs
+        for name in HOSTS:
+            assert (strip_pool(split.host_summary(name))
+                    == strip_pool(base.host_summary(name))), name
+            assert split.deliveries(name) == base.deliveries(name), name
+        assert split.totals() == base.totals()
+
+    def test_faults_actually_damaged_the_chain(self, runs):
+        base, _split = runs
+        # The flap eats frames arriving at h3 while the link is down...
+        assert base.host_summary("h3")["nic_link_dropped"] > 0
+        # ...and the crash leaves "c" a dead ring that fills and drops,
+        # so the run delivers less than the fault-free reference.
+        assert base.host_summary("h2")["dropped_ring_full"] > 0
+        from tests.test_sharded_parity import sharded_run
+        assert base.received < sharded_run(shards=1).received
+
+    def test_eventlog_records_injections_identically(self, runs):
+        base, split = runs
+        for name in HOSTS:
+            base_events = [event for event in base.events
+                           if event.host == name]
+            split_events = [event for event in split.events
+                            if event.host == name]
+            assert split_events == base_events, name
+        injected = [event for event in split.events
+                    if event.category == "fault_injected"]
+        assert [(event.get("kind"), event.host)
+                for event in injected] \
+            == [("LinkFlap", "h3"), ("NfCrash", "h2")]
