@@ -1,8 +1,10 @@
-"""Micro-benchmark: the sharded kernel on a multi-host chain.
+"""Micro-benchmark: the sharded kernel on the 22-node Rocketfuel WAN.
 
-A 4-host Rocketfuel-style line (per-hop propagation delay ≫ the
-per-packet service time, the regime where conservative windowing pays)
-runs the same 4-service chain at shards ∈ {1, 2, 4}.  Two gates:
+The paper's placement evaluation runs on Rocketfuel AS-16631 (22 nodes,
+64 edges); this benchmark runs the sharded kernel on that same topology
+(`repro.topology.rocketfuel.rocketfuel_like`) with a 6-service chain
+spread across the node order — so at every shard count the chain, and
+its transit hops, cross simulation-shard boundaries.  Two gates:
 
 - **Correctness (always):** every shard count moves *exactly* the same
   packets — identical network-wide rx/tx/drop/conservation totals.
@@ -23,39 +25,44 @@ from repro.core import EXIT, ServiceGraph
 from repro.net import FiveTuple
 from repro.sim import MS, US
 from repro.sim.sharded import Scenario, ShardedSimulator, TrafficSpec
-from repro.topology import Link, NodeSpec, Topology
+from repro.topology.rocketfuel import (
+    AS16631_EDGES,
+    AS16631_NODES,
+    rocketfuel_like,
+)
 
-HOSTS = 4
 DURATION = 20 * MS
 LINK_DELAY = 500 * US
 MIN_SPEEDUP = 1.5
 SHARD_COUNTS = (1, 2, 4)
 
+#: Six services spread across the node order: contiguous shard plans
+#: put every group of ~5 hosts in play at shards=4.
+SERVICES = ("a", "b", "c", "d", "e", "f")
+PLACEMENT = {"a": "n0", "b": "n4", "c": "n8",
+             "d": "n12", "e": "n16", "f": "n20"}
+
 
 def make_scenario() -> Scenario:
-    topology = Topology()
-    for index in range(HOSTS):
-        topology.add_node(NodeSpec(name=f"h{index}", cores=4))
-    for index in range(HOSTS - 1):
-        topology.add_link(Link(a=f"h{index}", b=f"h{index + 1}",
-                               delay_ns=LINK_DELAY))
-    graph = ServiceGraph("chain")
-    services = ("a", "b", "c", "d")
-    for service in services:
+    topology = rocketfuel_like(nodes=AS16631_NODES, edges=AS16631_EDGES,
+                               cores_per_node=4,
+                               link_delay_ns=LINK_DELAY)
+    graph = ServiceGraph("wan-chain")
+    for service in SERVICES:
         graph.add_service(service, read_only=True)
-    for src, dst in zip(services, services[1:]):
+    for src, dst in zip(SERVICES, SERVICES[1:]):
         graph.add_edge(src, dst, default=True)
-    graph.add_edge(services[-1], EXIT, default=True)
-    graph.set_entry(services[0])
+    graph.add_edge(SERVICES[-1], EXIT, default=True)
+    graph.set_entry(SERVICES[0])
     return Scenario(
         topology=topology, graph=graph,
-        placement={"a": "h0", "b": "h1", "c": "h2", "d": "h3"},
+        placement=dict(PLACEMENT),
         duration_ns=DURATION,
         traffic=[
-            TrafficSpec(host="h0",
+            TrafficSpec(host="n0",
                         flow=FiveTuple("10.0.0.1", "10.0.0.2", 6, 1, 80),
                         rate_mbps=2000.0, stop_ns=12 * MS),
-            TrafficSpec(host="h0",
+            TrafficSpec(host="n0",
                         flow=FiveTuple("10.0.0.3", "10.0.0.4", 17, 2, 53),
                         rate_mbps=1200.0, start_ns=2 * MS,
                         stop_ns=10 * MS),
@@ -94,8 +101,9 @@ def test_sharded_multihost_scaling(report):
     parallel_capable = (os.cpu_count() or 1) >= 4
 
     lines = [
-        "sharded multi-host chain "
-        f"({HOSTS} hosts, {DURATION // MS} ms, 64 B)",
+        "sharded Rocketfuel WAN chain "
+        f"({AS16631_NODES} nodes, {AS16631_EDGES} edges, "
+        f"{DURATION // MS} ms, 64 B)",
         f"{'shards':>6} {'workers':>7} {'wall_s':>8} {'events/pkt':>10}",
     ]
     for shards in SHARD_COUNTS:
@@ -112,8 +120,10 @@ def test_sharded_multihost_scaling(report):
                                    "events_scheduled",
                                    "events_per_packet", "totals")}
                     for shards, run in runs.items()},
-           config={"hosts": HOSTS, "duration_ns": DURATION,
+           config={"nodes": AS16631_NODES, "edges": AS16631_EDGES,
+                   "duration_ns": DURATION,
                    "link_delay_ns": LINK_DELAY,
+                   "placement": dict(PLACEMENT),
                    "shard_counts": list(SHARD_COUNTS),
                    "cpu_count": os.cpu_count(),
                    "min_speedup": MIN_SPEEDUP,

@@ -1,0 +1,118 @@
+"""Distributed control plane demo: a shard dies, the others absorb it.
+
+Run:  python examples/distributed_control_demo.py
+
+Three controller shards serve a two-host service chain *reactively*
+(``proactive=False``: every new flow takes a packet-in to its owning
+shard).  Mid-run a :class:`ControllerOutage` kills shard 0; the ring
+failover absorbs its slice of flow space into the surviving shards, so
+new flows keep getting rules while the shard is dark.  The event log
+records the down/restored transitions, and
+``mean_time_to_repair_ns`` reads the MTTR straight off the timeline.
+"""
+
+from repro.control import ControlPlane
+from repro.core import EXIT, SdnfvApp, ServiceGraph
+from repro.faults import ControllerOutage, FaultInjector, FaultPlan
+from repro.metrics import (
+    EventLog,
+    control_plane_counters,
+    counters_table,
+    mean_time_to_repair_ns,
+    recovery_spans,
+)
+from repro.net import FiveTuple, FlowMatch
+from repro.nfs import NoOpNf
+from repro.sim import MS, S, US, Simulator
+from repro.topology import Link, NodeSpec, Topology, build_network
+from repro.workloads import FlowSpec, PktGen
+
+OUTAGE_AT = 120 * MS
+OUTAGE_FOR = 200 * MS
+DURATION = 500 * MS
+
+
+def build_graph() -> ServiceGraph:
+    graph = ServiceGraph("edge-chain")
+    graph.add_service("fw", read_only=True)
+    graph.add_service("nat", read_only=True)
+    graph.add_edge("fw", "nat", default=True)
+    graph.add_edge("nat", EXIT, default=True)
+    graph.set_entry("fw")
+    return graph
+
+
+def main() -> None:
+    sim = Simulator()
+    topology = Topology()
+    topology.add_node(NodeSpec(name="h0", cores=4))
+    topology.add_node(NodeSpec(name="h1", cores=4))
+    topology.add_link(Link(a="h0", b="h1", delay_ns=500 * US))
+    network = build_network(sim, topology)
+
+    log = EventLog(sim)
+    plane = ControlPlane(sim, shards=3, failover=True, event_log=log)
+    app = SdnfvApp(sim, controller=plane)
+    placement = {"fw": "h0", "nat": "h1"}
+    for name, host in network.hosts.items():
+        app.register_host(host)
+        host.manager.controller = plane
+        host.manager.event_log = log
+    for service, host_name in placement.items():
+        network.hosts[host_name].add_nf(NoOpNf(service), ring_slots=256)
+
+    plan = FaultPlan()
+    plan.add(ControllerOutage(at_ns=OUTAGE_AT, down_ns=OUTAGE_FOR,
+                              shard=0))
+    FaultInjector(sim, plan, controller=plane).arm()
+
+    # 24 per-flow slices, deployed reactively (``proactive=False``
+    # installs nothing): every flow's first packet takes a packet-in to
+    # its owning shard.  The stagger spreads arrivals across the run, so
+    # flows landing while shard 0 is dark fail over to the survivors.
+    gen = PktGen(sim, network.hosts["h0"], measure_ports=())
+    delivered = []
+    network.hosts["h1"].port("eth1").on_egress = delivered.append
+    graph = build_graph()
+    for index in range(24):
+        flow = FiveTuple("10.0.1.1", "10.0.2.2", 6, 1000 + index, 80)
+        app.deploy(graph, placement=placement, network=network,
+                   match=FlowMatch.exact(flow), proactive=False)
+        gen.add_flow(FlowSpec(flow=flow, rate_mbps=40.0, packet_size=256,
+                              start_ns=index * 15 * MS,
+                              stop_ns=DURATION - 20 * MS))
+    sim.run(until=DURATION)
+
+    hosts = list(network.hosts.values())
+    print(counters_table(
+        "control plane",
+        control_plane_counters(plane, hosts=hosts, elapsed_ns=sim.now)))
+    spans = recovery_spans(log.events, "controller_shard_down",
+                           "controller_shard_restored", key="shard")
+    mttr_ns = mean_time_to_repair_ns(log.events, "controller_shard_down",
+                                     "controller_shard_restored",
+                                     key="shard")
+    formatted = [(shard, f"{down / S:.3f}s->{up / S:.3f}s")
+                 for shard, down, up in spans]
+    print(f"\noutage spans: {formatted}")
+    print(f"MTTR: {mttr_ns / MS:.1f} ms")
+    per_shard = [shard.stats.requests for shard in plane.shards]
+    print(f"per-shard requests: {per_shard}  "
+          f"failovers: {plane.stats.failovers}")
+
+    # The demo's claims, checked: the outage really happened and was
+    # repaired on schedule; flows owned by the dead shard were absorbed
+    # (failover fired); every shard served part of the flow space; and
+    # no flow setup was abandoned.
+    assert spans == [(0, OUTAGE_AT, OUTAGE_AT + OUTAGE_FOR)]
+    assert mttr_ns == OUTAGE_FOR
+    assert plane.stats.failovers > 0
+    assert all(requests > 0 for requests in per_shard)
+    total_misses = sum(host.stats.reactive_misses for host in hosts)
+    assert total_misses >= 24  # every flow set up reactively
+    assert sum(host.stats.miss_fallbacks for host in hosts) == 0
+    assert len(delivered) > 0  # traffic crossed the chain end to end
+
+
+if __name__ == "__main__":
+    main()

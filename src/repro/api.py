@@ -63,7 +63,7 @@ from repro.dataplane.messages import (
 from repro.nfs import NetworkFunction, NfContext
 
 # Control tier
-from repro.control import NfvOrchestrator, SdnController
+from repro.control import ControlPlane, NfvOrchestrator, SdnController
 
 # Global tier: graphs, the application, placement
 from repro.core import (
@@ -72,6 +72,7 @@ from repro.core import (
     GraphDeployment,
     SdnfvApp,
     ServiceGraph,
+    compile_proactive_rules,
     deploy_distributed,
 )
 
@@ -108,6 +109,7 @@ from repro.sim.sharded import (
 )
 
 # Workloads and observability
+from repro.metrics.controlplane import ControlPlaneMonitor
 from repro.metrics.eventlog import EventLog, merge_events
 from repro.workloads import FlowSpec, PktGen
 
@@ -161,6 +163,7 @@ __all__ = [
     "NetworkFunction",
     "NfContext",
     # control tier
+    "ControlPlane",
     "NfvOrchestrator",
     "SdnController",
     # global tier
@@ -169,6 +172,7 @@ __all__ = [
     "GraphDeployment",
     "SdnfvApp",
     "ServiceGraph",
+    "compile_proactive_rules",
     "deploy_distributed",
     # faults and resilience
     "ControllerOutage",
@@ -194,6 +198,7 @@ __all__ = [
     "ShardedSimulator",
     "TrafficSpec",
     # workloads and observability
+    "ControlPlaneMonitor",
     "EventLog",
     "FlowSpec",
     "PktGen",

@@ -117,6 +117,21 @@ class SdnController:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    def snapshot(self) -> dict[str, int | float | bool]:
+        """Scalar load counters as primitives — one row of a control-
+        plane report (:meth:`repro.control.plane.ControlPlane.snapshot`).
+        """
+        return {
+            "requests": self.stats.requests,
+            "busy_ns": self.stats.busy_ns,
+            "utilization": self.stats.utilization(self.sim.now),
+            "queue_depth": self.queue_depth,
+            "max_queue": self.stats.max_queue,
+            "failures": self.stats.failures,
+            "outages": self.stats.outages,
+            "down": self.down,
+        }
+
     # ------------------------------------------------------------------
     # Southbound: hosts ask for rules on a flow-table miss
     # ------------------------------------------------------------------

@@ -1,0 +1,313 @@
+"""A sharded control plane: N controllers partitioned over flow space.
+
+The paper deliberately bottlenecks flow setup on one single-threaded POX
+controller (Figs. 1 and 10).  Dragonflow-style distribution is the escape
+hatch: split the controller into *shards*, each an unmodified
+:class:`~repro.control.controller.SdnController` with its own FIFO queue,
+capacity, and outage state, and partition the work:
+
+- **Reactive requests** (table-miss ``PacketInMessage``) route by flow:
+  ``FiveTuple.hash_bucket(n_shards)`` names the owning shard, so one
+  flow's setup always serializes through one queue while distinct flows
+  spread over all shards — aggregate setup capacity scales with the
+  shard count.
+- **Proactive pushes** route by the *host* the rules land on (a stable
+  FNV hash of the host name, overridable per host), so one host's table
+  updates stay ordered.
+- **Cross-shard installs** — a service graph whose hosts are owned by
+  different shards — run a two-phase transaction: every involved shard
+  accepts a :class:`~repro.control.openflow.PrepareInstall` through its
+  own queue, then commits run strictly in ascending shard order
+  (:class:`~repro.control.openflow.CommitInstall`), one at a time.  The
+  deterministic commit order makes concurrent transactions serialize
+  identically on every run, and every commit lands through
+  ``manager.install_rule`` so the ownership verifier audits it like any
+  other table write.
+
+``shards=1`` constructs exactly one :class:`SdnController` and delegates
+every call to it unchanged — byte-identical to today's single-controller
+path (pinned by the golden-parity suite).
+
+With ``failover=True`` (default), requests owned by a downed shard are
+absorbed by the next live shard in ring order — the surviving shards
+cover the dead shard's flow-space, so a :class:`ControllerOutage` on one
+shard no longer stalls flows owned by the others.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.control.controller import SdnController
+from repro.control.openflow import CommitInstall, PrepareInstall
+from repro.dataplane.flow_table import FlowTableEntry
+from repro.net.flow import FiveTuple
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.sim.units import US
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _host_bucket(name: str, buckets: int) -> int:
+    """Stable FNV-1a bucket for a host name (hash() is salted per
+    process; shard ownership must agree across workers and runs)."""
+    digest = _FNV_OFFSET
+    for byte in name.encode():
+        digest = ((digest ^ byte) * _FNV_PRIME) & _MASK64
+    return digest % buckets
+
+
+@dataclasses.dataclass
+class ControlPlaneStats:
+    """Plane-level counters (per-shard load lives in each shard's
+    :class:`~repro.control.controller.ControllerStats`)."""
+
+    transactions: int = 0
+    failovers: int = 0
+    outages: int = 0
+
+
+class ControlPlane:
+    """N controller shards behind the single-controller interface.
+
+    Drop-in for :class:`SdnController` wherever one is duck-typed
+    (``NfManager.controller``, ``SdnfvApp(controller=...)``,
+    ``FaultInjector(controller=...)``): ``flow_request`` / ``push_rules``
+    / ``submit_work`` route to a shard and return that shard's reply
+    event; ``northbound`` fans out to every shard.
+    """
+
+    def __init__(self, sim: Simulator, shards: int = 1,
+                 service_time_ns: int = 500 * US,
+                 propagation_ns: int = 15_250 * US,
+                 northbound: typing.Any | None = None,
+                 workers_per_shard: int = 1,
+                 failover: bool = True,
+                 host_shards: typing.Mapping[str, int] | None = None,
+                 event_log: typing.Any | None = None) -> None:
+        if shards < 1:
+            raise ValueError("need at least one controller shard")
+        self.sim = sim
+        self.service_time_ns = service_time_ns
+        self.propagation_ns = propagation_ns
+        self.failover = failover
+        self.event_log = event_log
+        self.stats = ControlPlaneStats()
+        self._northbound = northbound
+        self._host_shards = dict(host_shards or {})
+        self._txn_ids = itertools.count()
+        self.shards: tuple[SdnController, ...] = tuple(
+            SdnController(sim, service_time_ns=service_time_ns,
+                          propagation_ns=propagation_ns,
+                          northbound=northbound,
+                          workers=workers_per_shard)
+            for _ in range(shards))
+
+    # ------------------------------------------------------------------
+    # Single-controller compatibility surface
+    # ------------------------------------------------------------------
+    @property
+    def northbound(self) -> typing.Any | None:
+        return self._northbound
+
+    @northbound.setter
+    def northbound(self, app: typing.Any | None) -> None:
+        self._northbound = app
+        for shard in self.shards:
+            shard.northbound = app
+
+    @property
+    def down(self) -> bool:
+        """The plane is down only when *every* shard is down."""
+        return all(shard.down for shard in self.shards)
+
+    @property
+    def idle_lookup_ns(self) -> int:
+        return self.shards[0].idle_lookup_ns
+
+    @property
+    def capacity_per_second(self) -> float:
+        """Aggregate saturation request rate across all shards."""
+        return sum(shard.capacity_per_second for shard in self.shards)
+
+    def attach_event_log(self, event_log: typing.Any) -> None:
+        self.event_log = event_log
+
+    # ------------------------------------------------------------------
+    # Flow-space partition
+    # ------------------------------------------------------------------
+    def owner_of(self, flow: FiveTuple) -> int:
+        """The shard owning this flow's slice of flow space."""
+        return flow.hash_bucket(len(self.shards))
+
+    def shard_for_host(self, host_name: str) -> int:
+        """The shard owning a host's proactive rule channel."""
+        explicit = self._host_shards.get(host_name)
+        if explicit is not None:
+            return explicit % len(self.shards)
+        return _host_bucket(host_name, len(self.shards))
+
+    def _route(self, index: int) -> tuple[int, SdnController]:
+        """Resolve an owner index to a live shard (ring failover)."""
+        shard = self.shards[index]
+        if not shard.down or not self.failover:
+            return index, shard
+        count = len(self.shards)
+        for offset in range(1, count):
+            candidate = (index + offset) % count
+            if not self.shards[candidate].down:
+                self.stats.failovers += 1
+                self._log("shard_failover", shard=index, absorbed_by=candidate)
+                return candidate, self.shards[candidate]
+        return index, shard  # total outage: queue at the owner
+
+    # ------------------------------------------------------------------
+    # Southbound / northbound request routing
+    # ------------------------------------------------------------------
+    def flow_request(self, host: str, scope: str, flow: FiveTuple) -> Event:
+        """Packet-in, routed to the flow's owning shard (or, during that
+        shard's outage, absorbed by the next live shard)."""
+        _index, shard = self._route(self.owner_of(flow))
+        return shard.flow_request(host, scope, flow)
+
+    def push_rules(self, host_manager: typing.Any,
+                   entries: typing.Sequence[FlowTableEntry]) -> Event:
+        """Proactive install on one host through its owning shard."""
+        _index, shard = self._route(self.shard_for_host(host_manager.name))
+        return shard.push_rules(host_manager, entries)
+
+    def submit_work(self, compute: typing.Callable[[], typing.Any],
+                    shard: int = 0) -> Event:
+        """Controller-resident work pinned to one shard's queue."""
+        return self.shards[shard].submit_work(compute)
+
+    # ------------------------------------------------------------------
+    # Cross-shard installs: two-phase, deterministic commit order
+    # ------------------------------------------------------------------
+    def install_batch(self, installs: typing.Sequence[
+            tuple[typing.Any, typing.Sequence[FlowTableEntry]]]) -> Event:
+        """Install per-host rule batches as one atomic-order transaction.
+
+        Batches whose hosts are all owned by one shard take the fast
+        path: plain per-host pushes through that shard's queue.  Batches
+        spanning shards run two-phase — a prepare through every involved
+        shard's queue (so a saturated or downed shard delays the whole
+        transaction, never reorders it), then commits strictly in
+        ascending shard order.  The returned event fires with the
+        transaction id once every rule is installed.
+        """
+        groups: dict[int, list[tuple[typing.Any,
+                                     typing.Sequence[FlowTableEntry]]]] = {}
+        for manager, entries in installs:
+            groups.setdefault(self.shard_for_host(manager.name),
+                              []).append((manager, entries))
+        order = sorted(groups)
+        txn_id = next(self._txn_ids)
+        if len(order) <= 1:
+            replies = [self.shards[index].push_rules(manager, list(entries))
+                       for index in order
+                       for manager, entries in groups[index]]
+            done = self.sim.event()
+            gate = self.sim.all_of(replies)
+            gate.callbacks.append(lambda _event: done.succeed(txn_id))
+            return done
+        done = self.sim.event()
+        self.stats.transactions += 1
+        self.sim.process(self._two_phase(txn_id, groups, order, done))
+        return done
+
+    def _two_phase(self, txn_id: int,
+                   groups: dict[int, list[tuple[typing.Any,
+                                                typing.Sequence[
+                                                    FlowTableEntry]]]],
+                   order: list[int], done: Event):
+        prepares = []
+        for index in order:
+            message = PrepareInstall(
+                txn_id=txn_id, shard=index,
+                hosts=tuple(manager.name for manager, _ in groups[index]))
+            self._log("txn_prepare", shard=index, txn=txn_id,
+                      hosts=len(message.hosts))
+            prepares.append(self.shards[index].submit_work(
+                lambda prepared=message: prepared))
+        yield self.sim.all_of(prepares)
+        for index in order:
+            batch = groups[index]
+            message = CommitInstall(
+                txn_id=txn_id, shard=index,
+                entries=tuple(entry for _manager, entries in batch
+                              for entry in entries))
+
+            def commit(batch=batch, message=message) -> int:
+                for manager, entries in batch:
+                    for entry in entries:
+                        manager.install_rule(entry)
+                return len(message.entries)
+
+            installed = yield self.shards[index].submit_work(commit)
+            self._log("txn_commit", shard=index, txn=txn_id,
+                      rules=installed)
+        done.succeed(txn_id)
+
+    # ------------------------------------------------------------------
+    # Outages (repro.faults.ControllerOutage, per shard or plane-wide)
+    # ------------------------------------------------------------------
+    def set_down(self, down: bool, shard: int | None = None) -> None:
+        """Take one shard (or, with ``shard=None``, every shard) down or
+        bring it back; transitions land in the event log for MTTR."""
+        if shard is None:
+            for index in range(len(self.shards)):
+                self.set_down(down, shard=index)
+            return
+        controller = self.shards[shard]
+        if controller.down == down:
+            return
+        controller.set_down(down)
+        self._log("controller_shard_down" if down
+                  else "controller_shard_restored", shard=shard)
+
+    def outage(self, duration_ns: int, shard: int | None = None) -> None:
+        """A bounded outage of one shard (or the whole plane)."""
+        if duration_ns <= 0:
+            raise ValueError("outage duration must be positive")
+        if shard is None:
+            for index in range(len(self.shards)):
+                self.outage(duration_ns, shard=index)
+            return
+        self.stats.outages += 1
+        self.shards[shard].stats.outages += 1
+        self.set_down(True, shard=shard)
+        self.sim.schedule(duration_ns,
+                          lambda: self.set_down(False, shard=shard))
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def queue_depths(self) -> list[int]:
+        return [shard.queue_depth for shard in self.shards]
+
+    def utilizations(self, elapsed_ns: int) -> list[float]:
+        return [shard.stats.utilization(elapsed_ns)
+                for shard in self.shards]
+
+    @property
+    def requests(self) -> int:
+        return sum(shard.stats.requests for shard in self.shards)
+
+    def snapshot(self) -> dict[str, typing.Any]:
+        """Per-shard load rows plus plane counters, as primitives."""
+        return {
+            "shards": [shard.snapshot() for shard in self.shards],
+            "transactions": self.stats.transactions,
+            "failovers": self.stats.failovers,
+            "outages": self.stats.outages,
+        }
+
+    def _log(self, category: str, **detail: typing.Any) -> None:
+        if self.event_log is not None:
+            self.event_log.record(category, **detail)

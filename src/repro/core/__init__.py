@@ -10,6 +10,7 @@ from repro.core.app import GraphDeployment, SdnfvApp
 from repro.core.deploy_rules import (
     DistributedDeploymentError,
     compile_distributed_rules,
+    compile_proactive_rules,
 )
 from repro.core.distributed import deploy_distributed
 from repro.core.placement import (
@@ -29,6 +30,7 @@ __all__ = [
     "DivisionSolver",
     "EXIT",
     "compile_distributed_rules",
+    "compile_proactive_rules",
     "deploy_distributed",
     "FlowRequest",
     "GraphDeployment",

@@ -24,7 +24,11 @@ from repro.dataplane.messages import (
     UserMessage,
 )
 from repro.net.flow import FiveTuple, FlowMatch
-from repro.core.deploy_rules import DistributedDeploymentError
+from repro.core.deploy_rules import (
+    DistributedDeploymentError,
+    compile_distributed_rules,
+    compile_proactive_rules,
+)
 from repro.core.service_graph import EXIT, ServiceGraph
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
@@ -57,6 +61,11 @@ class GraphDeployment:
     placement: dict[str, str] | None = None  # service -> host name
     inter_host_ports: dict[tuple[str, str], str] | None = None
     priority: int = 0
+    # Routed deployments (deploy(network=...)) remember the topology and
+    # the full host universe, so on-demand rules_for can recompile the
+    # routed cover (transit + arrival rules included) per host.
+    topology: typing.Any = None
+    host_names: tuple[str, ...] = ()
 
     def covers(self, flow: FiveTuple) -> bool:
         return self.match.matches(flow)
@@ -104,6 +113,9 @@ class SdnfvApp:
             host.manager.event_log = event_log
         if self.orchestrator is not None:
             self.orchestrator.event_log = event_log
+        if (self.controller is not None
+                and hasattr(self.controller, "attach_event_log")):
+            self.controller.attach_event_log(event_log)
 
     # ------------------------------------------------------------------
     # Host / infrastructure registration
@@ -147,7 +159,7 @@ class SdnfvApp:
             return self._deploy_on_network(
                 graph, network, placement, match=match,
                 ingress_port=ingress_port, exit_port=exit_port,
-                priority=priority)
+                priority=priority, proactive=proactive)
         graph.validate()
         match = match or FlowMatch.any()
         deployment = GraphDeployment(
@@ -161,6 +173,7 @@ class SdnfvApp:
                                   services=len(graph.services))
         involved = (set(placement.values()) if placement
                     else set(self.hosts))
+        pushes: list[tuple[NfvHost, list[FlowTableEntry]]] = []
         for host_name in involved:
             host = self.hosts[host_name]
             for chain in graph.parallel_chains():
@@ -170,26 +183,30 @@ class SdnfvApp:
                 if len(local) == len(chain):
                     host.manager.register_parallel_chain(chain)
             if proactive:
-                rules = self._compile_for(deployment, host_name)
-                self._install(host, rules)
+                rules = [entry for _name, entry in compile_proactive_rules(
+                    graph, placement, hosts=(host_name,), match=match,
+                    ingress_port=ingress_port, exit_port=exit_port,
+                    inter_host_ports=inter_host_ports, priority=priority)]
+                pushes.append((host, rules))
+        self._install_all(pushes)
         return deployment
 
     def _deploy_on_network(self, graph: ServiceGraph, network: typing.Any,
                            placement: dict[str, str] | None,
                            match: FlowMatch | None,
                            ingress_port: str, exit_port: str,
-                           priority: int) -> GraphDeployment:
+                           priority: int,
+                           proactive: bool = True) -> GraphDeployment:
         """The routed deployment path (graphs spanning a topology).
 
         Compilation is pure (:mod:`repro.core.deploy_rules`); the install
         step only touches hosts the network actually realized, so a shard
         holding a subset of the hosts installs exactly its share of the
-        same global plan.
+        same global plan.  With ``proactive=False`` nothing is installed
+        up front: the deployment is registered and every host pulls its
+        share of the routed cover on demand through the miss path.
         """
-        from repro.core.deploy_rules import (
-            colocated_chains,
-            compile_distributed_rules,
-        )
+        from repro.core.deploy_rules import colocated_chains
 
         if placement is None:
             raise DistributedDeploymentError(
@@ -197,16 +214,27 @@ class SdnfvApp:
         match = match or FlowMatch.any()
         host_names = (network.all_hosts if getattr(network, "all_hosts", ())
                       else tuple(network.hosts))
-        installs = compile_distributed_rules(
-            graph, placement, topology=network.topology,
-            inter_host_ports=network.inter_host_ports,
-            host_names=host_names, match=match,
-            ingress_port=ingress_port, exit_port=exit_port,
-            priority=priority)
-        for host_name, entry in installs:
-            host = network.hosts.get(host_name)
-            if host is not None:
-                host.install_rule(entry)
+        if proactive:
+            installs = compile_proactive_rules(
+                graph, placement, hosts=host_names,
+                topology=network.topology,
+                inter_host_ports=network.inter_host_ports,
+                host_names=host_names, match=match,
+                ingress_port=ingress_port, exit_port=exit_port,
+                priority=priority)
+            for host_name, entry in installs:
+                host = network.hosts.get(host_name)
+                if host is not None:
+                    host.install_rule(entry)
+        else:
+            # Validate the cover compiles (placement errors surface at
+            # deploy time, not at first miss) without installing it.
+            compile_distributed_rules(
+                graph, placement, topology=network.topology,
+                inter_host_ports=network.inter_host_ports,
+                host_names=host_names, match=match,
+                ingress_port=ingress_port, exit_port=exit_port,
+                priority=priority)
         for host_name, chain in colocated_chains(graph, placement):
             host = network.hosts.get(host_name)
             if host is not None:
@@ -216,7 +244,8 @@ class SdnfvApp:
             graph=graph, match=match, ingress_port=ingress_port,
             exit_port=exit_port, placement=dict(placement),
             inter_host_ports=dict(network.inter_host_ports),
-            priority=priority)
+            priority=priority, topology=network.topology,
+            host_names=tuple(host_names))
         self.deployments.append(deployment)
         if self.event_log is not None:
             self.event_log.record(
@@ -236,12 +265,25 @@ class SdnfvApp:
             inter_host_ports=deployment.inter_host_ports,
             priority=deployment.priority)
 
-    def _install(self, host: NfvHost,
-                 rules: list[FlowTableEntry]) -> None:
-        if self.controller is not None:
-            self.controller.push_rules(host.manager, rules)
+    def _install_all(self, pushes: list[tuple[NfvHost,
+                                              list[FlowTableEntry]]]) -> None:
+        """Install compiled per-host batches: directly without a
+        controller, per host through a plain controller, or — when the
+        deployment spans hosts and the controller is a sharded
+        :class:`~repro.control.plane.ControlPlane` — as one cross-shard
+        transaction with a deterministic commit order."""
+        if not pushes:
+            return
+        if self.controller is None:
+            for host, rules in pushes:
+                host.install_rules(rules)
+        elif (len(pushes) > 1
+                and hasattr(self.controller, "install_batch")):
+            self.controller.install_batch(
+                [(host.manager, rules) for host, rules in pushes])
         else:
-            host.install_rules(rules)
+            for host, rules in pushes:
+                self.controller.push_rules(host.manager, rules)
 
     def launch_nf(self, host: NfvHost | str,
                   nf_factory: typing.Callable[[], typing.Any],
@@ -263,9 +305,23 @@ class SdnfvApp:
     def rules_for(self, host_name: str, scope: str,
                   flow: FiveTuple) -> list[FlowTableEntry]:
         """Rules for a reported miss: the host's share of the first
-        deployment covering the flow."""
+        deployment covering the flow.  Routed deployments recompile
+        their topology-aware cover (transit and arrival rules included)
+        and return this host's slice of it."""
         for deployment in self.deployments:
             if deployment.covers(flow):
+                if deployment.topology is not None:
+                    installs = compile_distributed_rules(
+                        deployment.graph, deployment.placement,
+                        topology=deployment.topology,
+                        inter_host_ports=deployment.inter_host_ports,
+                        host_names=deployment.host_names,
+                        match=deployment.match,
+                        ingress_port=deployment.ingress_port,
+                        exit_port=deployment.exit_port,
+                        priority=deployment.priority)
+                    return [entry for name, entry in installs
+                            if name == host_name]
                 return self._compile_for(deployment, host_name)
         return []
 

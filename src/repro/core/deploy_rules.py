@@ -137,6 +137,63 @@ def compile_distributed_rules(
     return installs
 
 
+def compile_proactive_rules(
+        graph: ServiceGraph,
+        placement: typing.Mapping[str, str] | None = None,
+        *,
+        hosts: typing.Sequence[str],
+        match: FlowMatch | None = None,
+        ingress_port: str = "eth0",
+        exit_port: str = "eth1",
+        inter_host_ports: typing.Mapping[tuple[str, str], str] | None = None,
+        priority: int = 0,
+        topology: Topology | None = None,
+        host_names: typing.Iterable[str] | None = None,
+        ) -> list[tuple[str, FlowTableEntry]]:
+    """Compile the multi-table pipeline a deployment pre-populates.
+
+    The proactive half of the hybrid rule pipeline: the same per-host
+    rules the reactive path would hand out one miss at a time, compiled
+    up front in deterministic ``(host, entry)`` install order and marked
+    ``proactive=True`` — so table-miss ``PacketInMessage``s only fire
+    for flows *outside* the pre-installed cover, and the manager's miss
+    classifier can tell a pre-populated hit from a reactively pulled
+    one.
+
+    Without ``topology`` this compiles ``graph.compile_rules`` per host
+    in ``hosts`` order (adjacent/single-host placements — exactly what
+    :meth:`SdnfvApp.deploy` installs).  With ``topology`` (and
+    ``host_names``, the full host universe) it delegates to
+    :func:`compile_distributed_rules` for the routed cover, transit and
+    arrival rules included.
+    """
+    match = match or FlowMatch.any()
+    if topology is not None:
+        if placement is None:
+            raise DistributedDeploymentError(
+                "routed proactive compilation needs placement=")
+        installs = compile_distributed_rules(
+            graph, placement, topology=topology,
+            inter_host_ports=inter_host_ports or {},
+            host_names=(host_names if host_names is not None else hosts),
+            match=match, ingress_port=ingress_port, exit_port=exit_port,
+            priority=priority)
+    else:
+        graph.validate()
+        installs = []
+        for host_name in hosts:
+            installs.extend(
+                (host_name, entry) for entry in graph.compile_rules(
+                    ingress_port=ingress_port, exit_port=exit_port,
+                    match=match, placement=placement,
+                    host=host_name if placement else None,
+                    inter_host_ports=inter_host_ports,
+                    priority=priority))
+    for _host_name, entry in installs:
+        entry.proactive = True
+    return installs
+
+
 def colocated_chains(graph: ServiceGraph,
                      placement: typing.Mapping[str, str]
                      ) -> list[tuple[str, list[str]]]:

@@ -45,6 +45,11 @@ class FlowTableEntry:
     priority: int = 0
     idle_timeout_ns: int = 0
     hard_timeout_ns: int = 0
+    # Provenance: True when the rule was pre-populated at deploy time
+    # (the proactive pipeline) rather than pulled in reactively on a
+    # table miss.  Drives the manager's miss classifier
+    # (proactive_hits vs reactive_hits in HostStats).
+    proactive: bool = False
     entry_id: int = dataclasses.field(
         default_factory=lambda: next(_entry_ids))
     installed_at_ns: int = 0

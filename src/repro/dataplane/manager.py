@@ -310,6 +310,11 @@ class NfManager:
         self._groups: dict[int, _ParallelGroup] = {}
         self._parallel_chains: dict[str, list[str]] = {}
         self._plans: dict[FiveTuple, dict] = {}
+        # Miss classifier (§4.1 hybrid pipeline): flows whose first
+        # contact with this host has been classified as proactive-hit /
+        # reactive-hit / reactive-miss.  A dict used as an insertion-
+        # ordered set so eviction matches the plan cache's FIFO idiom.
+        self._classified: dict[FiveTuple, None] = {}
         self._fc_queue = Store(sim, recycle=True)
         self._pending_flows: dict[tuple[str, FiveTuple],
                                   list[PacketDescriptor]] = {}
@@ -679,6 +684,8 @@ class NfManager:
         entry = self.flow_table.lookup(descriptor.scope, flow,
                                        now_ns=self.sim.now)
         if entry is not None:
+            if flow not in self._classified:
+                self._classify_first_contact(flow, entry)
             descriptor.cache_lookup(entry, generation)
             if self.lookup_cache:
                 if len(self._plans) >= _PLAN_CACHE_LIMIT:
@@ -690,6 +697,23 @@ class NfManager:
                     plan["entries"] = {}
                 plan["entries"][descriptor.scope] = entry
         return entry, cost
+
+    def _classify_first_contact(self, flow: FiveTuple,
+                                entry: FlowTableEntry | None) -> None:
+        """Classify a flow's first contact with this host exactly once:
+        it either hit a pre-populated rule (proactive), hit a rule an
+        earlier miss pulled in (reactive hit), or missed and took the
+        controller slow path (reactive miss).  The reactive-miss-rate
+        metric is ``reactive_misses / flow_setups`` over these three."""
+        if len(self._classified) >= _PLAN_CACHE_LIMIT:
+            self._classified.pop(next(iter(self._classified)))
+        self._classified[flow] = None
+        if entry is None:
+            self.stats.reactive_misses += 1
+        elif entry.proactive:
+            self.stats.proactive_hits += 1
+        else:
+            self.stats.reactive_hits += 1
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -947,6 +971,8 @@ class NfManager:
                 self._pending_flows[key].append(descriptor)
                 continue
             self._pending_flows[key] = [descriptor]
+            if descriptor.packet.flow not in self._classified:
+                self._classify_first_contact(descriptor.packet.flow, None)
             self.stats.sdn_requests += 1
             if self.event_log is not None:
                 self.event_log.record("sdn_request", host=self.name,
@@ -1023,6 +1049,7 @@ class NfManager:
     def _degrade_pending(self, key: tuple[str, FiveTuple]) -> None:
         """Release a miss queue without rules: fallback-forward or drop."""
         buffered = self._pending_flows.pop(key)
+        self.stats.miss_fallbacks += 1
         if self.miss_fallback is not None:
             for descriptor in buffered:
                 self.stats.degraded_packets += 1

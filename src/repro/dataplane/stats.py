@@ -27,6 +27,16 @@ class HostStats:
     sdn_requests: int = 0
     sdn_retries: int = 0
     sdn_timeouts: int = 0
+    # Miss classifier: each flow's *first contact* with this host is
+    # classified exactly once — it hit a pre-populated rule
+    # (proactive_hits), hit a rule a previous miss pulled in
+    # (reactive_hits), or missed and took the controller slow path
+    # (reactive_misses).  miss_fallbacks counts miss queues released
+    # without rules (degraded to the fallback destination or dropped).
+    proactive_hits: int = 0
+    reactive_hits: int = 0
+    reactive_misses: int = 0
+    miss_fallbacks: int = 0
     parallel_groups: int = 0
     failed_vms: int = 0
     requeued_packets: int = 0
@@ -83,6 +93,18 @@ class HostStats:
         self.vm_batches += 1
         self.vm_batch_occupancy[size] += 1
 
+    def flow_setups(self) -> int:
+        """Flows whose first contact has been classified."""
+        return (self.proactive_hits + self.reactive_hits
+                + self.reactive_misses)
+
+    def reactive_miss_rate(self) -> float:
+        """Fraction of flow setups that took the controller slow path
+        (the Fig. 1 / Fig. 10 quantity the proactive pipeline drives
+        down).  0.0 when no flow has been classified yet."""
+        setups = self.flow_setups()
+        return self.reactive_misses / setups if setups else 0.0
+
     def batch_summary(self) -> dict[str, float]:
         """Mean batch occupancy per pipeline stage (1.0 = no batching)."""
 
@@ -114,6 +136,10 @@ class HostStats:
             "sdn_requests": self.sdn_requests,
             "sdn_retries": self.sdn_retries,
             "sdn_timeouts": self.sdn_timeouts,
+            "proactive_hits": self.proactive_hits,
+            "reactive_hits": self.reactive_hits,
+            "reactive_misses": self.reactive_misses,
+            "miss_fallbacks": self.miss_fallbacks,
             "parallel_groups": self.parallel_groups,
             "failed_vms": self.failed_vms,
             "requeued_packets": self.requeued_packets,

@@ -66,9 +66,15 @@ class FaultInjector:
                 raise ValueError(
                     f"fault {index} fires at {fire_ns} ns, in the past")
             if self.only_hosts is not None:
-                target = getattr(fault, "host", None)
-                if target is None or target not in self.only_hosts:
-                    continue
+                if isinstance(fault, ControllerOutage):
+                    # Controller faults have no host; they arm wherever a
+                    # controller (or control-plane replica) is attached.
+                    if self.controller is None:
+                        continue
+                else:
+                    target = getattr(fault, "host", None)
+                    if target is None or target not in self.only_hosts:
+                        continue
             timetable.append((fire_ns, fault))
             self.sim.schedule(fire_ns - self.sim.now,
                               lambda fault=fault: self._fire(fault))
@@ -143,8 +149,19 @@ class FaultInjector:
         if self.controller is None:
             self._skip(fault, "no controller")
             return
-        self.controller.outage(fault.down_ns)
-        self._record(fault, None, down_ns=fault.down_ns)
+        if fault.shard is None:
+            self.controller.outage(fault.down_ns)
+        else:
+            shards = getattr(self.controller, "shards", None)
+            if shards is None:
+                self._skip(fault, "controller is not sharded")
+                return
+            if fault.shard >= len(shards):
+                self._skip(fault, "no such controller shard")
+                return
+            self.controller.outage(fault.down_ns, shard=fault.shard)
+        self._record(fault, None, down_ns=fault.down_ns,
+                     shard=fault.shard)
 
     def _fire_overload(self, fault: HostOverload) -> None:
         host = self._resolve_host(fault)

@@ -70,14 +70,24 @@ class LinkFlap(Fault):
 
 @dataclasses.dataclass(frozen=True, kw_only=True)
 class ControllerOutage(Fault):
-    """The SDN controller stops serving for ``down_ns`` (requests queue)."""
+    """The SDN controller stops serving for ``down_ns`` (requests queue).
+
+    With a sharded :class:`~repro.control.plane.ControlPlane`,
+    ``shard=`` retargets the outage at one controller shard — the other
+    shards keep serving their slices of flow space (and, with failover,
+    absorb the dead shard's).  ``shard=None`` takes the whole plane (or
+    a plain single controller) down.
+    """
 
     down_ns: int
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.down_ns <= 0:
             raise ValueError("outage needs a positive duration")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError("shard index must be non-negative")
 
 
 @dataclasses.dataclass(frozen=True, kw_only=True)

@@ -1,9 +1,16 @@
 """Measurement instrumentation: latency, throughput, time series, reports."""
 
-from repro.metrics.eventlog import ControlEvent, EventLog
+from repro.metrics.controlplane import ControlPlaneMonitor, aggregate_miss_rate
+from repro.metrics.eventlog import (
+    ControlEvent,
+    EventLog,
+    mean_time_to_repair_ns,
+    recovery_spans,
+)
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.reporting import (
     comparison_table,
+    control_plane_counters,
     counters_table,
     series_table,
 )
@@ -12,11 +19,16 @@ from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
     "ControlEvent",
+    "ControlPlaneMonitor",
     "EventLog",
     "LatencyRecorder",
     "ThroughputMeter",
     "TimeSeries",
+    "aggregate_miss_rate",
     "comparison_table",
+    "control_plane_counters",
     "counters_table",
+    "mean_time_to_repair_ns",
+    "recovery_spans",
     "series_table",
 ]

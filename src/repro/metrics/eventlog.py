@@ -81,6 +81,42 @@ class EventLog:
                          for event in self.filter(**filter_kw))
 
 
+def recovery_spans(events: typing.Iterable[ControlEvent],
+                   down_category: str, up_category: str,
+                   key: str | None = None
+                   ) -> list[tuple[typing.Any, int, int]]:
+    """Pair failure/recovery events into ``(identity, down_ns, up_ns)``
+    spans — the MTTR raw material.
+
+    ``key`` names the detail field identifying *what* failed (e.g.
+    ``"shard"`` for ``controller_shard_down`` / ``_restored`` pairs);
+    ``None`` treats every down/up pair as one global resource.  Unpaired
+    downs (never recovered within the log) are omitted.
+    """
+    open_spans: dict[typing.Any, int] = {}
+    spans: list[tuple[typing.Any, int, int]] = []
+    for event in events:
+        identity = event.get(key) if key is not None else None
+        if event.category == down_category:
+            open_spans.setdefault(identity, event.timestamp_ns)
+        elif event.category == up_category and identity in open_spans:
+            spans.append((identity, open_spans.pop(identity),
+                          event.timestamp_ns))
+    return spans
+
+
+def mean_time_to_repair_ns(events: typing.Iterable[ControlEvent],
+                           down_category: str, up_category: str,
+                           key: str | None = None) -> int:
+    """Mean down→up duration over :func:`recovery_spans`, rounded to
+    whole nanoseconds (0 when no complete span exists)."""
+    spans = recovery_spans(events, down_category, up_category, key=key)
+    if not spans:
+        return 0
+    return round(sum(up - down for _identity, down, up in spans)
+                 / len(spans))
+
+
 def merge_events(per_shard: typing.Sequence[
         typing.Sequence[ControlEvent]]) -> list[ControlEvent]:
     """Deterministically merge per-shard event streams.

@@ -52,6 +52,54 @@ def counters_table(title: str,
     return "\n".join(lines)
 
 
+def control_plane_counters(plane: typing.Any,
+                           hosts: typing.Iterable[typing.Any] = (),
+                           elapsed_ns: int | None = None
+                           ) -> dict[str, int | float]:
+    """Flattened control-plane counters ready for :func:`counters_table`.
+
+    One dict mixing the hosts' miss-classifier rollup (reactive miss
+    rate, proactive/reactive hit counts) with per-shard controller load
+    (requests, queue depth, utilization).  ``plane`` may be a
+    :class:`~repro.control.plane.ControlPlane` or a plain
+    :class:`~repro.control.controller.SdnController` (one shard).
+    """
+    from repro.metrics.controlplane import aggregate_miss_rate
+
+    shards = list(getattr(plane, "shards", None) or (plane,))
+    rate, misses, setups = aggregate_miss_rate(hosts)
+    hits_proactive = 0
+    hits_reactive = 0
+    fallbacks = 0
+    for host in hosts:
+        stats = host.stats if hasattr(host, "stats") else host
+        hits_proactive += stats.proactive_hits
+        hits_reactive += stats.reactive_hits
+        fallbacks += stats.miss_fallbacks
+    counters: dict[str, int | float] = {
+        "flow_setups": setups,
+        "proactive_hits": hits_proactive,
+        "reactive_hits": hits_reactive,
+        "reactive_misses": misses,
+        "miss_fallbacks": fallbacks,
+        "reactive_miss_rate": rate,
+        "control_shards": len(shards),
+    }
+    for index, shard in enumerate(shards):
+        counters[f"shard{index}_requests"] = shard.stats.requests
+        counters[f"shard{index}_queue_depth"] = shard.queue_depth
+        counters[f"shard{index}_max_queue"] = shard.stats.max_queue
+        if elapsed_ns is not None:
+            counters[f"shard{index}_utilization"] = (
+                shard.stats.utilization(elapsed_ns))
+    stats = getattr(plane, "stats", None)
+    if stats is not None and hasattr(stats, "failovers"):
+        counters["failovers"] = stats.failovers
+        counters["transactions"] = stats.transactions
+        counters["shard_outages"] = stats.outages
+    return counters
+
+
 def series_table(title: str, columns: dict[str, typing.Sequence],
                  float_format: str = "{:.3f}") -> str:
     """Multi-column numeric series (one row per index position)."""

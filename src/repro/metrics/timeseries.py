@@ -28,6 +28,24 @@ class TimeSeries:
         """(seconds, value) pairs."""
         return [(t / S, v) for t, v in zip(self._times, self._values, strict=True)]
 
+    def last(self) -> float:
+        """The most recent value."""
+        if not self._values:
+            raise ValueError(f"{self.name}: empty series")
+        return self._values[-1]
+
+    def max_value(self) -> float:
+        """The largest value seen (e.g. a queue-depth peak)."""
+        if not self._values:
+            raise ValueError(f"{self.name}: empty series")
+        return max(self._values)
+
+    def mean(self) -> float:
+        """Unweighted mean over all samples."""
+        if not self._values:
+            raise ValueError(f"{self.name}: empty series")
+        return sum(self._values) / len(self._values)
+
     def value_at(self, now_ns: int) -> float:
         """Step interpolation: the last value at or before ``now_ns``."""
         if not self._times:

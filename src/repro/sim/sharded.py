@@ -41,10 +41,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.control.plane import ControlPlane
 from repro.core.app import SdnfvApp
 from repro.core.service_graph import ServiceGraph
 from repro.dataplane.costs import HostCosts
-from repro.dataplane.manager import DEFAULT_BURST_SIZE
+from repro.dataplane.manager import DEFAULT_BURST_SIZE, ControlPlanePolicy
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import ControllerOutage, FaultPlan
 from repro.metrics.eventlog import ControlEvent, EventLog, merge_events
@@ -53,6 +54,7 @@ from repro.net.mempool import DEFAULT_POOL_SIZE
 from repro.net.packet import Packet
 from repro.nfs import NoOpNf
 from repro.sim.simulator import Simulator
+from repro.sim.units import US
 from repro.topology.builder import BoundaryWire, BuiltNetwork, build_network
 from repro.topology.nodes import NodeKind
 from repro.topology.topology import Topology
@@ -121,6 +123,20 @@ class Scenario:
     seed: int = 0
     ring_slots: int = 512
     pktgen_seed: int = 42
+    # Shard-local control plane (0 = no controller, today's behaviour:
+    # rules install directly at deploy time).  With control_shards >= 1
+    # every simulation shard builds its own ControlPlane replica —
+    # controller placement follows the data it serves, so reactive
+    # misses never cross a shard boundary.  control_proactive=False
+    # leaves tables empty at deploy and every flow sets up reactively
+    # (each replica then models its own slice of the controller's
+    # queueing, so cross-shard-count parity holds only for the
+    # proactive path, whose tables never consult the controller).
+    control_shards: int = 0
+    control_proactive: bool = True
+    control_service_time_ns: int = 500 * US
+    control_propagation_ns: int = 15_250 * US
+    control_policy: ControlPlanePolicy | None = None
 
     def nfv_hosts(self) -> tuple[str, ...]:
         return tuple(name for name in self.topology.node_names
@@ -144,12 +160,23 @@ class Scenario:
             if spec.host not in hosts:
                 raise ScenarioError(
                     f"traffic targets unknown host {spec.host!r}")
+        if self.control_shards < 0:
+            raise ScenarioError("control_shards must be non-negative")
         if self.fault_plan is not None:
             for fault in self.fault_plan:
                 if isinstance(fault, ControllerOutage):
-                    raise ScenarioError(
-                        "ControllerOutage cannot be sharded: scenario "
-                        "runs have no controller")
+                    if not self.control_shards:
+                        raise ScenarioError(
+                            "ControllerOutage needs control_shards >= 1: "
+                            "without a control plane there is no "
+                            "controller to take down")
+                    if (fault.shard is not None
+                            and fault.shard >= self.control_shards):
+                        raise ScenarioError(
+                            f"fault targets controller shard "
+                            f"{fault.shard} but control_shards="
+                            f"{self.control_shards}")
+                    continue
                 target = getattr(fault, "host", None)
                 if target is None:
                     raise ScenarioError(
@@ -281,10 +308,23 @@ class ShardRuntime:
             seed=scenario.seed,
             only_hosts=self.owned)
         self.event_log = EventLog(sim)
-        self.app = SdnfvApp(sim)
+        # Shard-local controller placement: each runtime replicates the
+        # control plane, so every host's controller channel terminates
+        # inside its own shard (reactive misses never cross a boundary).
+        self.plane: ControlPlane | None = None
+        if scenario.control_shards:
+            self.plane = ControlPlane(
+                sim, shards=scenario.control_shards,
+                service_time_ns=scenario.control_service_time_ns,
+                propagation_ns=scenario.control_propagation_ns,
+                event_log=self.event_log)
+        self.app = SdnfvApp(sim, controller=self.plane)
         for host in self.network.hosts.values():
             self.app.register_host(host)
             host.manager.event_log = self.event_log
+            if self.plane is not None:
+                host.manager.controller = self.plane
+                host.manager.control_policy = scenario.control_policy
 
         # NFs in global graph order: each host sees the same local
         # registration sequence (hence the same vm ids and RNG streams)
@@ -301,7 +341,8 @@ class ShardRuntime:
                         ingress_port=scenario.ingress_port,
                         exit_port=scenario.exit_port,
                         placement=scenario.placement,
-                        network=self.network)
+                        network=self.network,
+                        proactive=scenario.control_proactive)
 
         # Per-host traffic generation and exit-side measurement.
         self.gens: dict[str, PktGen] = {}
@@ -331,6 +372,7 @@ class ShardRuntime:
             self.injector = FaultInjector(
                 sim, scenario.fault_plan,
                 hosts=self.network.hosts.values(),
+                controller=self.plane,
                 only_hosts=self.owned)
             self.injector.arm()
 
@@ -455,6 +497,8 @@ class ShardRuntime:
         return {
             "shard": self.shard_id,
             "hosts": hosts,
+            "control": (self.plane.snapshot()
+                        if self.plane is not None else None),
             "events": list(self.event_log.events),
             "fired_faults": fired,
             "skipped_faults": skipped,
@@ -487,6 +531,10 @@ class ShardedRunResult:
         self.fired_faults: list[tuple] = sorted(
             fault for result in shard_results
             for fault in result["fired_faults"])
+        #: Per-simulation-shard control-plane snapshots (None entries
+        #: when the scenario ran without a control plane).
+        self.controls: list[dict | None] = [
+            result.get("control") for result in shard_results]
 
     @property
     def sent(self) -> int:

@@ -1,0 +1,161 @@
+"""Golden parity: ``ControlPlane(shards=1)`` IS the legacy controller.
+
+The distributed control plane must be a pure superset: with one shard
+and no proactive pre-population, a full reactive run — misses, controller
+round trips, rule pulls, deliveries — is *byte-identical* to the same
+run against a plain :class:`SdnController`: packet-for-packet delivery
+order, every latency sample, every stats counter, the control-event
+timeline, and the kernel's event odometers.
+
+A second suite pins the hybrid pipeline's endpoints: a full proactive
+cover drives the reactive slow path to zero, and the two controller
+front-ends install identical proactive rule sets.
+"""
+
+from repro.control import ControlPlane, SdnController
+from repro.core import EXIT, SdnfvApp, ServiceGraph
+from repro.metrics import EventLog
+from repro.net import FiveTuple
+from repro.nfs import NoOpNf
+from repro.sim import MS, US, Simulator
+from repro.topology import Link, NodeSpec, Topology, build_network
+from repro.workloads import FlowSpec, PktGen
+
+DURATION = 120 * MS
+
+FLOWS = (
+    FiveTuple("10.0.0.1", "10.0.0.2", 6, 1, 80),
+    FiveTuple("10.0.0.3", "10.0.0.4", 17, 2, 53),
+    FiveTuple("10.0.0.5", "10.0.0.6", 6, 3, 443),
+)
+
+
+def two_host_topology() -> Topology:
+    topology = Topology()
+    topology.add_node(NodeSpec(name="h0", cores=4))
+    topology.add_node(NodeSpec(name="h1", cores=4))
+    topology.add_link(Link(a="h0", b="h1", delay_ns=500 * US))
+    return topology
+
+
+def chain_graph() -> ServiceGraph:
+    graph = ServiceGraph("parity")
+    graph.add_service("a", read_only=True)
+    graph.add_service("b", read_only=True)
+    graph.add_edge("a", "b", default=True)
+    graph.add_edge("b", EXIT, default=True)
+    graph.set_entry("a")
+    return graph
+
+
+def run_network(controller_factory, proactive: bool) -> dict:
+    """One deterministic two-host run; returns everything observable."""
+    sim = Simulator()
+    network = build_network(sim, two_host_topology())
+    controller = controller_factory(sim)
+    event_log = EventLog(sim)
+    app = SdnfvApp(sim, controller=controller)
+    for host in network.hosts.values():
+        app.register_host(host)
+        host.manager.controller = controller
+        host.manager.event_log = event_log
+    app.attach_event_log(event_log)
+    placement = {"a": "h0", "b": "h1"}
+    for service, host_name in placement.items():
+        network.hosts[host_name].add_nf(NoOpNf(service), ring_slots=256)
+    app.deploy(chain_graph(), placement=placement, network=network,
+               proactive=proactive)
+
+    gen = PktGen(sim, network.hosts["h0"], measure_ports=())
+    deliveries: list[tuple] = []
+    exit_port = network.hosts["h1"].port("eth1")
+    measured = exit_port.on_egress
+
+    def recording_hook(packet):
+        flow = packet.flow
+        deliveries.append((sim.now, packet.created_at,
+                           (flow.src_ip, flow.dst_ip, flow.protocol,
+                            flow.src_port, flow.dst_port)))
+        if measured is not None:
+            measured(packet)
+
+    exit_port.on_egress = recording_hook
+    for index, flow in enumerate(FLOWS):
+        gen.add_flow(FlowSpec(flow=flow, rate_mbps=200.0, packet_size=256,
+                              start_ns=index * MS, stop_ns=80 * MS))
+    sim.run(until=DURATION)
+    return {
+        "deliveries": deliveries,
+        "latency_samples": list(gen.latency.samples_ns),
+        "summaries": {name: host.stats.summary()
+                      for name, host in network.hosts.items()},
+        "events": list(event_log.events),
+        "events_scheduled": sim.events_scheduled,
+        "timers_scheduled": sim.timers_scheduled,
+        "events_cancelled": sim.events_cancelled,
+        "sent": gen.sent,
+        "frames_carried": network.fabric.frames_carried,
+    }
+
+
+class TestReactiveGoldenParity:
+    """shards=1, proactive=False — byte-identical to the legacy path."""
+
+    def test_single_shard_plane_matches_plain_controller(self):
+        legacy = run_network(SdnController, proactive=False)
+        plane = run_network(lambda sim: ControlPlane(sim, shards=1),
+                            proactive=False)
+        assert plane["deliveries"] == legacy["deliveries"]
+        assert plane["latency_samples"] == legacy["latency_samples"]
+        assert plane["summaries"] == legacy["summaries"]
+        assert plane["events"] == legacy["events"]
+        assert plane["events_scheduled"] == legacy["events_scheduled"]
+        assert plane["timers_scheduled"] == legacy["timers_scheduled"]
+        assert plane["events_cancelled"] == legacy["events_cancelled"]
+        assert plane["frames_carried"] == legacy["frames_carried"]
+        # Sanity: this really was the reactive slow path end to end.
+        assert legacy["deliveries"]
+        assert legacy["summaries"]["h0"]["sdn_requests"] == len(FLOWS)
+        assert legacy["summaries"]["h0"]["reactive_misses"] == len(FLOWS)
+
+    def test_reactive_run_classifies_every_flow_as_miss(self):
+        legacy = run_network(SdnController, proactive=False)
+        h0 = legacy["summaries"]["h0"]
+        assert h0["proactive_hits"] == 0
+        assert h0["reactive_misses"] == len(FLOWS)
+
+
+class TestProactiveParity:
+    """Full pre-population: the slow path never fires, under either
+    controller front-end, with identical rule covers."""
+
+    def test_proactive_cover_eliminates_misses(self):
+        result = run_network(lambda sim: ControlPlane(sim, shards=1),
+                             proactive=True)
+        for name in ("h0", "h1"):
+            summary = result["summaries"][name]
+            assert summary["sdn_requests"] == 0
+            assert summary["reactive_misses"] == 0
+        assert result["summaries"]["h0"]["proactive_hits"] == len(FLOWS)
+        assert result["deliveries"]
+
+    def test_proactive_runs_identical_across_front_ends(self):
+        legacy = run_network(SdnController, proactive=True)
+        plane = run_network(lambda sim: ControlPlane(sim, shards=1),
+                            proactive=True)
+        assert plane["deliveries"] == legacy["deliveries"]
+        assert plane["latency_samples"] == legacy["latency_samples"]
+        assert plane["summaries"] == legacy["summaries"]
+        assert plane["events"] == legacy["events"]
+        assert plane["events_scheduled"] == legacy["events_scheduled"]
+
+    def test_proactive_beats_reactive_first_packet_latency(self):
+        reactive = run_network(SdnController, proactive=False)
+        proactive = run_network(SdnController, proactive=True)
+        # Same flows delivered, but the reactive run's first packets ate
+        # a 31 ms controller round trip the proactive run never paid.
+        def latencies(result):
+            return [now - created for now, created, _flow
+                    in result["deliveries"]]
+        assert max(latencies(proactive)) < 31 * MS
+        assert max(latencies(reactive)) > 31 * MS

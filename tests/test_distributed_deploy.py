@@ -179,3 +179,41 @@ class TestDeprecatedShim:
         out, nfs = run_chain(sim, network, placement, services)
         assert len(out) == 5
         assert app.deployments
+
+    def test_shim_warns_exactly_once_per_call(self, sim, env):
+        import warnings as warnings_module
+
+        app, network = env(2)
+        placement = {"a": "h0", "b": "h1"}
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            deploy_distributed(app, network, linear_graph(["a", "b"]),
+                               placement)
+        deprecations = [record for record in caught
+                        if issubclass(record.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "SdnfvApp.deploy" in str(deprecations[0].message)
+
+    def test_shim_rules_identical_to_unified_deploy(self, sim, env):
+        """The shim's installed tables are structurally identical to
+        ``app.deploy(..., network=)`` — rule for rule, host for host."""
+        import warnings as warnings_module
+
+        def rule_shapes(network):
+            return {name: [(entry.scope, str(entry.match), entry.actions,
+                            entry.priority, entry.proactive)
+                           for entry in host.flow_table.entries()]
+                    for name, host in network.hosts.items()}
+
+        placement = {"a": "h0", "b": "h1"}
+        app_new, network_new = env(2)
+        app_new.deploy(linear_graph(["a", "b"]), placement=placement,
+                       network=network_new)
+
+        app_old, network_old = env(2)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("ignore", DeprecationWarning)
+            deploy_distributed(app_old, network_old,
+                               linear_graph(["a", "b"]), placement)
+        assert rule_shapes(network_old) == rule_shapes(network_new)
+        assert rule_shapes(network_old)  # really compared something
