@@ -1,0 +1,28 @@
+"""Optional-dependency detection.
+
+numpy accelerates the columnar batch columns, the seeded random
+streams, and the latency percentile math, but none of those need it
+for correctness: every consumer keeps a stdlib fallback that produces
+the same *kinds* of results (and, for the columnar arrays, bit-identical
+ones).  Import ``HAVE_NUMPY`` from here instead of try/excepting numpy
+locally so the whole tree flips together.
+
+Setting ``SDNFV_NO_NUMPY=1`` in the environment forces the fallback
+paths even when numpy is importable — that is how the parity suite
+pins the stdlib ``array`` code without a second virtualenv.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    if os.environ.get("SDNFV_NO_NUMPY"):
+        raise ImportError("numpy disabled via SDNFV_NO_NUMPY")
+    import numpy
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via subprocess tests
+    numpy = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "numpy"]

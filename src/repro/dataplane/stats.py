@@ -10,6 +10,8 @@ from __future__ import annotations
 import collections
 import dataclasses
 
+from repro.net.batch import columnar_kernel
+
 
 @dataclasses.dataclass
 class HostStats:
@@ -58,6 +60,17 @@ class HostStats:
     rx_batches: int = 0
     tx_batches: int = 0
     vm_batches: int = 0
+    # Columnar kernel: batches built at RX, packets rematerialized to
+    # descriptors for slow paths (the fallback rate), burst flow-lookup
+    # rounds and their dedup hits, and batch split/merge structure
+    # audits (splits at ring/budget boundaries, merges when one service
+    # charge covers several batches).  All zero when columnar=False.
+    columnar_batches: int = 0
+    object_fallbacks: int = 0
+    lookup_batches: int = 0
+    lookup_batch_hits: int = 0
+    batch_splits: int = 0
+    batch_merges: int = 0
     per_service_packets: collections.Counter = dataclasses.field(
         default_factory=collections.Counter)
     per_port_tx_bytes: collections.Counter = dataclasses.field(
@@ -92,6 +105,22 @@ class HostStats:
     def record_vm_batch(self, size: int) -> None:
         self.vm_batches += 1
         self.vm_batch_occupancy[size] += 1
+
+    @columnar_kernel
+    def record_rx_bulk(self, count: int, nbytes: int) -> None:
+        """Batch-wide RX accounting — one update per burst, identical
+        totals to ``count`` :meth:`record_rx` calls."""
+        self.rx_packets += count
+        self.rx_bytes += nbytes
+        self.columnar_batches += 1
+
+    @columnar_kernel
+    def record_tx_bulk(self, port: str, count: int, nbytes: int) -> None:
+        """Batch-wide TX accounting — identical totals to ``count``
+        :meth:`record_tx` calls."""
+        self.tx_packets += count
+        self.tx_bytes += nbytes
+        self.per_port_tx_bytes[port] += nbytes
 
     def flow_setups(self) -> int:
         """Flows whose first contact has been classified."""
@@ -153,4 +182,10 @@ class HostStats:
             "rx_batches": self.rx_batches,
             "tx_batches": self.tx_batches,
             "vm_batches": self.vm_batches,
+            "columnar_batches": self.columnar_batches,
+            "object_fallbacks": self.object_fallbacks,
+            "lookup_batches": self.lookup_batches,
+            "lookup_batch_hits": self.lookup_batch_hits,
+            "batch_splits": self.batch_splits,
+            "batch_merges": self.batch_merges,
         }

@@ -1,10 +1,15 @@
-"""Round-trip latency collection: means, percentiles, CDFs."""
+"""Round-trip latency collection: means, percentiles, CDFs.
+
+Statistics run on numpy when available and on pure stdlib arithmetic
+otherwise, with identical results: the fallback percentile implements
+numpy's default ``'linear'`` interpolation and the fallback CDF picks
+the same ``linspace`` sample indices.
+"""
 
 from __future__ import annotations
 
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, numpy as np
 from repro.sim.units import US
 
 
@@ -27,34 +32,41 @@ class LatencyRecorder:
     def samples_ns(self) -> list[int]:
         return list(self._samples)
 
-    def _require_samples(self) -> np.ndarray:
+    def _require_samples(self) -> list[int]:
         if not self._samples:
             raise ValueError(f"{self.name}: no samples recorded")
-        return np.asarray(self._samples, dtype=np.float64)
+        return self._samples
 
     def mean_us(self) -> float:
-        return float(self._require_samples().mean()) / US
+        samples = self._require_samples()
+        return (sum(samples) / len(samples)) / US
 
     def min_us(self) -> float:
-        return float(self._require_samples().min()) / US
+        return min(self._require_samples()) / US
 
     def max_us(self) -> float:
-        return float(self._require_samples().max()) / US
+        return max(self._require_samples()) / US
 
     def percentile_us(self, percentile: float) -> float:
-        return float(np.percentile(self._require_samples(),
-                                   percentile)) / US
+        samples = self._require_samples()
+        if HAVE_NUMPY:
+            data = np.asarray(samples, dtype=np.float64)
+            return float(np.percentile(data, percentile)) / US
+        return _percentile_linear(sorted(samples), percentile) / US
 
     def cdf_points(self, points: int = 100
                    ) -> list[tuple[float, float]]:
         """(latency_us, cumulative_fraction) pairs for CDF plots (Fig. 6)."""
-        data = np.sort(self._require_samples()) / US
-        fractions = np.arange(1, len(data) + 1) / len(data)
-        if len(data) <= points:
-            return list(zip(data.tolist(), fractions.tolist(), strict=True))
-        indices = np.linspace(0, len(data) - 1, points).astype(int)
-        return list(zip(data[indices].tolist(),
-                        fractions[indices].tolist(), strict=True))
+        samples = self._require_samples()
+        n = len(samples)
+        data = sorted(float(sample) / US for sample in samples)
+        fractions = [(index + 1) / n for index in range(n)]
+        if n <= points:
+            return list(zip(data, fractions, strict=True))
+        # numpy linspace(0, n-1, points).astype(int) index selection.
+        step = (n - 1) / (points - 1)
+        indices = [int(index * step) for index in range(points)]
+        return [(data[index], fractions[index]) for index in indices]
 
     def summary(self) -> dict[str, float]:
         return {
@@ -65,3 +77,15 @@ class LatencyRecorder:
             "p50_us": self.percentile_us(50),
             "p99_us": self.percentile_us(99),
         }
+
+
+def _percentile_linear(ordered: list[int], percentile: float) -> float:
+    """numpy's default ``'linear'`` percentile on a pre-sorted list."""
+    n = len(ordered)
+    if n == 1:
+        return float(ordered[0])
+    rank = (n - 1) * percentile / 100.0
+    lower = int(rank)
+    upper = min(lower + 1, n - 1)
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight

@@ -19,6 +19,7 @@ from repro.dataplane.host import NfvHost
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.throughput import ThroughputMeter
 from repro.net.flow import FiveTuple
+from repro.net.headers import ip_to_int
 from repro.net.packet import Packet, wire_bits
 from repro.sim.randomness import RandomStreams
 from repro.sim.simulator import Simulator
@@ -36,6 +37,12 @@ class FlowSpec:
     stop_ns: int | None = None
     payload: typing.Callable[[int], str] | str = ""
     pacing: str = "uniform"  # or "poisson"
+    # Cycle packets round-robin over this many distinct five-tuples
+    # derived from ``flow`` (incrementing src_port, rolling into src_ip)
+    # — the Fig. 10 saturation-sweep knob: at 10^5 concurrent flows the
+    # data plane's per-flow caches churn on every packet.  Deterministic
+    # (sequence-indexed), so it draws nothing from the pacing RNG.
+    flow_count: int = 1
 
     def __post_init__(self) -> None:
         if self.rate_mbps <= 0:
@@ -44,11 +51,31 @@ class FlowSpec:
             raise ValueError("packet size below 64-byte minimum")
         if self.pacing not in ("uniform", "poisson"):
             raise ValueError(f"unknown pacing {self.pacing!r}")
+        if self.flow_count < 1:
+            raise ValueError("flow_count must be at least 1")
+        self._flows: tuple[FiveTuple, ...] | None = None
 
     def payload_for(self, sequence: int) -> str:
         if callable(self.payload):
             return self.payload(sequence)
         return self.payload
+
+    def flow_for(self, sequence: int) -> FiveTuple:
+        """The five-tuple of packet ``sequence`` (round-robin)."""
+        if self.flow_count == 1:
+            return self.flow
+        if self._flows is None:
+            self._flows = tuple(self._variant(index)
+                                for index in range(self.flow_count))
+        return self._flows[sequence % self.flow_count]
+
+    def _variant(self, index: int) -> FiveTuple:
+        base = self.flow
+        offset = base.src_port + index
+        ip = (ip_to_int(base.src_ip) + offset // 65536) & 0xFFFFFFFF
+        return FiveTuple(
+            f"{ip >> 24}.{(ip >> 16) & 255}.{(ip >> 8) & 255}.{ip & 255}",
+            base.dst_ip, base.protocol, offset % 65536, base.dst_port)
 
     def mean_gap(self) -> float:
         """Mean inter-packet gap in ns at the current rate.
@@ -140,13 +167,14 @@ class PktGen:
         now = self.sim.now
         if spec.stop_ns is not None and now >= spec.stop_ns:
             return
+        flow = spec.flow_for(sequence)
         pool = getattr(self.host, "packet_pool", None)
         if pool is not None:
-            packet = pool.alloc(flow=spec.flow, size=spec.packet_size,
+            packet = pool.alloc(flow=flow, size=spec.packet_size,
                                 payload=spec.payload_for(sequence),
                                 created_at=now)
         else:
-            packet = Packet(flow=spec.flow, size=spec.packet_size,
+            packet = Packet(flow=flow, size=spec.packet_size,
                             payload=spec.payload_for(sequence),
                             created_at=now)
         self.host.inject(self.ingress_port, packet)

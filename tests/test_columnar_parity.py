@@ -1,0 +1,274 @@
+"""Columnar parity: the struct-of-arrays burst kernel is behaviorally
+invisible.
+
+Two fixed-seed Fig. 7 runs of the same workload — one on the object
+pipeline (``columnar=False``, the default), one on the columnar batch
+path — must be *indistinguishable* in everything the simulation
+observes: packet-for-packet delivery order, every latency sample, every
+drop counter, and the kernel's event odometer.  Moving packets as
+struct-of-arrays columns may only change how the host iterates, never
+what the data plane does.
+
+The same holds for the numpy-optional column backend: with
+``SDNFV_NO_NUMPY`` set the stdlib ``array`` fallback must reproduce the
+numpy run byte-identically on workloads that draw nothing from the RNG
+(uniform pacing, zero wire jitter) — checked via a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.dataplane import NfvHost
+from repro.dataplane.costs import HostCosts
+from repro.net import FiveTuple
+from repro.nfs import CounterNf, NoOpNf
+from repro.sim import MS, Simulator
+from repro.workloads import FlowSpec, PktGen
+
+from tests.conftest import install_chain
+
+WINDOW_NS = 1 * MS
+
+#: The saturation point: burst-32 RX batches fill completely (Fig. 7's
+#: max-throughput regime, where the columnar kernel actually batches).
+SATURATED_MBPS = 16_000.0
+
+#: Counters allowed to differ: they *describe the columnar path itself*.
+COLUMNAR_KEYS = ("columnar_batches", "object_fallbacks", "lookup_batches",
+                 "lookup_batch_hits", "batch_splits", "batch_merges")
+
+
+class SlowNf(NoOpNf):
+    """A NoOp with a data-dependent cost override: disqualifies the VM
+    batch fast path, forcing the pre-work explode to descriptors."""
+
+    def processing_cost_ns(self, packet, ctx):
+        return 400
+
+
+def run_fig7(columnar: bool, *, rate_mbps: float = SATURATED_MBPS,
+             flow_count: int = 1, nf_factory=NoOpNf, replicas: int = 1,
+             ring_slots: int = 256, verify: bool = False,
+             jitter: bool = True):
+    """One deterministic Fig. 7-style run; returns everything observable."""
+    sim = Simulator()
+    costs = None if jitter else HostCosts(wire_jitter_ns=0)
+    host = NfvHost(sim, name="parity", columnar=columnar, costs=costs,
+                   verify=verify)
+    nfs = []
+    for service in ("nf0", "nf1"):
+        for _ in range(replicas):
+            nfs.append(nf_factory(service))
+            host.add_nf(nfs[-1], ring_slots=ring_slots)
+    install_chain(host, ["nf0", "nf1"])
+    flow = FiveTuple("10.0.0.1", "10.0.0.2", 6, 1234, 80)
+    gen = PktGen(sim, host, window_ns=MS)
+    gen.add_flow(FlowSpec(flow=flow, rate_mbps=rate_mbps, packet_size=64,
+                          stop_ns=WINDOW_NS, flow_count=flow_count))
+
+    deliveries: list[tuple[int, int, FiveTuple]] = []
+    measured_hook = host.port("eth1").on_egress
+
+    def recording_hook(packet):
+        deliveries.append((sim.now, packet.created_at, packet.flow))
+        measured_hook(packet)
+
+    host.port("eth1").on_egress = recording_hook
+    sim.run(until=WINDOW_NS + MS)
+    return {
+        "deliveries": deliveries,
+        "latency_samples": gen.latency.samples_ns,
+        "summary": host.stats.summary(),
+        "events_scheduled": sim.events_scheduled,
+        "timers_scheduled": sim.timers_scheduled,
+        "events_cancelled": sim.events_cancelled,
+        "sent": gen.sent,
+        "received": gen.received,
+        "gbps": gen.rx_meter.mean_gbps(),
+        "host": host,
+        "nfs": nfs,
+    }
+
+
+def assert_parity(columnar: dict, object_path: dict) -> None:
+    """Everything observable matches, modulo the columnar self-counters."""
+    assert columnar["deliveries"] == object_path["deliveries"]
+    assert columnar["latency_samples"] == object_path["latency_samples"]
+    assert columnar["events_scheduled"] == object_path["events_scheduled"]
+    assert columnar["timers_scheduled"] == object_path["timers_scheduled"]
+    assert columnar["events_cancelled"] == object_path["events_cancelled"]
+    assert columnar["sent"] == object_path["sent"]
+    assert columnar["received"] == object_path["received"]
+    assert columnar["gbps"] == object_path["gbps"]
+    columnar_summary = {k: v for k, v in columnar["summary"].items()
+                        if k not in COLUMNAR_KEYS}
+    object_summary = {k: v for k, v in object_path["summary"].items()
+                      if k not in COLUMNAR_KEYS}
+    assert columnar_summary == object_summary
+    # The object run must not have touched the columnar machinery at all.
+    for key in COLUMNAR_KEYS:
+        assert object_path["summary"][key] == 0
+
+
+def test_saturated_columnar_run_is_identical_to_object_run():
+    """Burst-32 batches, 8 interleaved flows: splits, merges, and the
+    vectorized lookup all engage — and nothing observable moves."""
+    columnar = run_fig7(columnar=True, flow_count=8)
+    object_path = run_fig7(columnar=False, flow_count=8)
+    assert_parity(columnar, object_path)
+
+    summary = columnar["summary"]
+    assert summary["columnar_batches"] > 0
+    assert summary["lookup_batches"] > 0
+    assert summary["lookup_batch_hits"] > 0
+    # A pure NoOp chain never needs rich packet objects.
+    assert summary["object_fallbacks"] == 0
+    assert columnar["received"] > 1000
+
+
+def test_tight_rings_split_and_merge_batches_identically():
+    """Small rings at an over-saturated rate force enqueue splits and
+    TX-burst merges — the structural batch ops stay invisible too."""
+    columnar = run_fig7(columnar=True, rate_mbps=24_000.0, ring_slots=48)
+    object_path = run_fig7(columnar=False, rate_mbps=24_000.0,
+                           ring_slots=48)
+    assert_parity(columnar, object_path)
+    summary = columnar["summary"]
+    assert summary["batch_splits"] > 0
+    assert summary["batch_merges"] > 0
+    assert summary["dropped_ring_full"] > 0
+
+
+def test_trickle_rate_single_packet_batches_stay_identical():
+    """Below saturation every RX burst is one packet — the degenerate
+    batch shape must still be exact."""
+    columnar = run_fig7(columnar=True, rate_mbps=8_000.0)
+    object_path = run_fig7(columnar=False, rate_mbps=8_000.0)
+    assert_parity(columnar, object_path)
+    assert columnar["summary"]["columnar_batches"] > 0
+
+
+def test_multi_replica_service_falls_back_to_objects():
+    """Load-balanced services take the per-packet explode path (bulk
+    dispatch is single-replica only) and still match exactly."""
+    columnar = run_fig7(columnar=True, replicas=2)
+    object_path = run_fig7(columnar=False, replicas=2)
+    assert_parity(columnar, object_path)
+    assert columnar["summary"]["object_fallbacks"] > 0
+
+
+def test_counter_nf_batch_handler_sees_identical_traffic():
+    """An NF with a real process_batch keeps byte-identical per-flow
+    state across the two paths."""
+    columnar = run_fig7(columnar=True, flow_count=4, nf_factory=CounterNf)
+    object_path = run_fig7(columnar=False, flow_count=4,
+                           nf_factory=CounterNf)
+    assert_parity(columnar, object_path)
+    for columnar_nf, object_nf in zip(columnar["nfs"], object_path["nfs"],
+                                      strict=True):
+        assert columnar_nf.packets == object_nf.packets
+        assert columnar_nf.bytes == object_nf.bytes
+        assert sum(columnar_nf.packets.values()) > 0
+
+
+def test_custom_cost_nf_explodes_batches_before_the_work_sleep():
+    """A processing_cost_ns override disqualifies the VM fast path; the
+    per-descriptor explode must charge the same costs at the same
+    instants as the object pipeline."""
+    columnar = run_fig7(columnar=True, nf_factory=SlowNf)
+    object_path = run_fig7(columnar=False, nf_factory=SlowNf)
+    assert_parity(columnar, object_path)
+    assert columnar["summary"]["object_fallbacks"] > 0
+
+
+def test_columnar_run_passes_the_ownership_verifier():
+    """Batch moves keep every buffer handed off exactly once."""
+    result = run_fig7(columnar=True, flow_count=8, verify=True)
+    result["host"].verifier.assert_clean()
+    assert result["summary"]["columnar_batches"] > 0
+
+
+# ----------------------------------------------------------------------
+# numpy-absent parity (stdlib ``array`` column backend)
+# ----------------------------------------------------------------------
+
+#: A self-contained jitter-free columnar run printed as JSON: uniform
+#: pacing + wire_jitter_ns=0 draw nothing from the RNG, so the numpy
+#: and fallback backends must agree bit-for-bit.
+_RUNNER = """
+import json
+from repro._compat import HAVE_NUMPY
+from repro.dataplane import FlowTableEntry, NfvHost, ToPort, ToService
+from repro.dataplane.costs import HostCosts
+from repro.net import FiveTuple, FlowMatch
+from repro.nfs import NoOpNf
+from repro.sim import MS, Simulator
+from repro.workloads import FlowSpec, PktGen
+
+sim = Simulator()
+host = NfvHost(sim, name="parity", columnar=True,
+               costs=HostCosts(wire_jitter_ns=0))
+for service in ("nf0", "nf1"):
+    host.add_nf(NoOpNf(service), ring_slots=256)
+match = FlowMatch.any()
+host.install_rule(FlowTableEntry(scope="eth0", match=match,
+                                 actions=(ToService("nf0"),)))
+host.install_rule(FlowTableEntry(scope="nf0", match=match,
+                                 actions=(ToService("nf1"),)))
+host.install_rule(FlowTableEntry(scope="nf1", match=match,
+                                 actions=(ToPort("eth1"),)))
+flow = FiveTuple("10.0.0.1", "10.0.0.2", 6, 1234, 80)
+gen = PktGen(sim, host, window_ns=MS)
+gen.add_flow(FlowSpec(flow=flow, rate_mbps=16_000.0, packet_size=64,
+                      stop_ns=MS, flow_count=8))
+deliveries = []
+measured = host.port("eth1").on_egress
+def hook(packet):
+    deliveries.append((sim.now, packet.created_at, str(packet.flow)))
+    measured(packet)
+host.port("eth1").on_egress = hook
+sim.run(until=2 * MS)
+print(json.dumps({
+    "have_numpy": HAVE_NUMPY,
+    "deliveries": deliveries,
+    "latency_samples": gen.latency.samples_ns,
+    "summary": host.stats.summary(),
+    "odometer": [sim.events_scheduled, sim.timers_scheduled,
+                 sim.events_cancelled],
+    "sent": gen.sent,
+    "received": gen.received,
+}))
+"""
+
+
+def _run_subprocess(no_numpy: bool) -> dict:
+    env = dict(os.environ)
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(repo, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if no_numpy:
+        env["SDNFV_NO_NUMPY"] = "1"
+    else:
+        env.pop("SDNFV_NO_NUMPY", None)
+    done = subprocess.run([sys.executable, "-c", _RUNNER], env=env,
+                          capture_output=True, text=True, timeout=600)
+    assert done.returncode == 0, done.stderr
+    return json.loads(done.stdout)
+
+
+def test_stdlib_array_backend_matches_numpy_backend_exactly():
+    with_numpy = _run_subprocess(no_numpy=False)
+    without_numpy = _run_subprocess(no_numpy=True)
+    assert without_numpy["have_numpy"] is False
+    assert without_numpy["deliveries"] == with_numpy["deliveries"]
+    assert without_numpy["latency_samples"] == with_numpy["latency_samples"]
+    assert without_numpy["summary"] == with_numpy["summary"]
+    assert without_numpy["odometer"] == with_numpy["odometer"]
+    assert without_numpy["sent"] == with_numpy["sent"]
+    assert without_numpy["received"] == with_numpy["received"]
+    assert without_numpy["summary"]["columnar_batches"] > 0
+    assert without_numpy["received"] > 1000
