@@ -15,7 +15,10 @@ cheap to write and expensive to debug:
 - **SIM005** — shards of the sharded kernel may exchange only
   *serialized* boundary events; reaching through a shard handle into
   another shard's live objects (hosts, pools, managers) silently breaks
-  worker-mode parity and determinism.
+  worker-mode parity and determinism.  The same rule polices the wire:
+  per-event ``pipe.send``/``pickle.dumps`` inside a boundary hot loop
+  reintroduces the one-message-per-packet transport the batched codec
+  (``repro.net.batch.BoundaryBatch``) replaced.
 - **SIM006** — functions marked ``@columnar_kernel`` promise to work on
   batch columns and scalars; per-packet object allocation or per-row
   iteration inside one silently reintroduces the object-path costs the
@@ -386,21 +389,50 @@ _SHARD_PROTOCOL = frozenset({
 })
 
 
+#: Loop variables/iterables that mark a *per-event* boundary hot loop.
+#: A ``.send``/``pickle.dumps`` call inside such a loop ships one pipe
+#: message per packet — the unbatched transport the columnar boundary
+#: codec exists to prevent.  Loops over workers, shards, or destination
+#: buckets (one payload per peer) are fine.
+_PER_EVENT_NAMES = frozenset({
+    "event", "events", "packet", "packets", "row", "rows",
+    "frame", "frames", "outbox", "tagged", "boundary_events",
+})
+
+#: Per-event serialization calls: bare names (``dumps``) and dotted
+#: tails (``pickle.dumps``); ``.send`` on anything counts.
+_SERIALIZE_CALLS = frozenset({"dumps", "dump"})
+
+
 def _is_sharded_kernel(path: str) -> bool:
     normalized = path.replace("\\", "/")
     return normalized.endswith("repro/sim/sharded.py")
 
 
+def _loop_names(node: ast.For) -> set[str]:
+    names: set[str] = set()
+    for part in (node.target, node.iter):
+        for child in ast.walk(part):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+            elif isinstance(child, ast.Attribute):
+                names.add(child.attr)
+    return names
+
+
 class _Sim005:
     rule_id = "SIM005"
     summary = ("no cross-shard object sharing in repro.sim.sharded "
-               "(shards exchange serialized boundary events only)")
+               "(shards exchange batched serialized boundary events "
+               "only)")
 
     def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
         if not _is_sharded_kernel(path):
             return []
         violations = []
         for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                violations.extend(self._check_event_loop(node, path))
             if not (isinstance(node, ast.Attribute)
                     and isinstance(node.value, ast.Subscript)):
                 continue
@@ -418,6 +450,30 @@ class _Sim005:
                 f"shard may not touch another shard's live objects — "
                 f"exchange serialized boundary events via the "
                 f"advance/deliver/take_outbox/collect protocol"))
+        return violations
+
+    def _check_event_loop(self, loop: ast.For,
+                          path: str) -> list[LintViolation]:
+        """Flag per-event pipe sends / pickling inside boundary loops."""
+        if not (_loop_names(loop) & _PER_EVENT_NAMES):
+            return []
+        violations = []
+        for body_item in loop.body + loop.orelse:
+            for node in ast.walk(body_item):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name)
+                        else "")
+                if name == "send" or name in _SERIALIZE_CALLS:
+                    violations.append(_violation(
+                        path, node, self.rule_id,
+                        f"per-event {name}() inside a boundary hot "
+                        f"loop ships one pipe message per packet; "
+                        f"encode the window's events once "
+                        f"(BoundaryBatch / the transport codec) and "
+                        f"send the batch"))
         return violations
 
 

@@ -7,20 +7,33 @@ simulation (its own :class:`~repro.sim.simulator.Simulator`, its own
 hosts, fabric, packet pools, event log) — and runs them in conservative
 lockstep:
 
-- **Lookahead window.**  The minimum propagation delay of any link that
-  crosses a shard boundary is a hard lower bound on how soon one shard
-  can affect another.  All shards advance in barrier-synchronized
-  windows of that width (null-message/LBTS style): a frame transmitted
-  at ``t`` inside window ``[W, W+L)`` arrives at ``t + delay >= W + L``,
-  so delivering captured frames at each barrier can never violate
-  causality.
+- **Lookahead windows.**  The minimum propagation delay of any link
+  that crosses a shard boundary is a hard lower bound on how soon one
+  shard can affect another.  ``ShardPlan`` records that bound per
+  *directed shard pair* (``lookahead_matrix``); the conductor runs a
+  null-message/LBTS-style round schedule where each shard advances to
+  the minimum over its inbound neighbors' clocks plus the pair
+  lookahead (``adaptive_windows=True``, the default), so two shards
+  joined only by a slow WAN link barrier at WAN cadence even while an
+  intra-DC pair elsewhere barriers every few microseconds.  Uniform
+  topologies degenerate to the classic global barrier of width
+  ``lookahead_ns``; ``adaptive_windows=False`` forces that global
+  schedule.  Either way a frame transmitted at ``t`` inside a window
+  arrives at ``t + delay`` past every target the round hands out, so
+  delivering captured frames between rounds never violates causality.
 
 - **Boundary events.**  Frames leaving a shard are serialized to plain
   tuples (flow fields, size, payload, timestamps) — never object
   references — and rebuilt from the destination host's packet pool on
-  the owning shard.  The same codec runs in-process (``workers=0``) and
-  over ``multiprocessing`` pipes, so a worker run is bit-equal to the
-  debuggable in-process run.
+  the owning shard.  Per window and destination the tuples travel as a
+  packed :class:`~repro.net.batch.BoundaryBatch` (int64 columns plus
+  dictionary tables; ``transport="columnar"``, the default) or as the
+  legacy per-event pickled tuples (``transport="pickle"``); both
+  decode to identical rows.  The same codec runs in-process
+  (``workers=0``) and over ``multiprocessing`` pipes, so a worker run
+  is bit-equal to the debuggable in-process run, and per-shard
+  transport counters (windows, batches, messages, bytes) land in the
+  run result.
 
 - **Determinism.**  Boundary events are globally sorted by
   ``(arrival time, source shard, capture order)`` before delivery, and
@@ -39,6 +52,7 @@ collisions may differ.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import typing
 
 from repro.control.plane import ControlPlane
@@ -49,6 +63,7 @@ from repro.dataplane.manager import DEFAULT_BURST_SIZE, ControlPlanePolicy
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import ControllerOutage, FaultPlan
 from repro.metrics.eventlog import ControlEvent, EventLog, merge_events
+from repro.net.batch import encode_boundary_events
 from repro.net.flow import FiveTuple
 from repro.net.mempool import DEFAULT_POOL_SIZE
 from repro.net.packet import Packet
@@ -128,6 +143,12 @@ class Scenario:
     # RX/ring/VM/TX instead of per-packet descriptors (byte-identical
     # results, faster wall clock).  Passed through to every NfvHost.
     columnar: bool = False
+    # Attach the descriptor-ownership verifier to every host
+    # (repro.analysis.ownership.HostVerifier): the boundary capture
+    # (pool reclaim at the source) and delivery (pool alloc + NIC
+    # receive at the destination) hand-offs run under its shadow
+    # ledger, and each shard's collect() carries the per-host audit.
+    verify: bool = False
     seed: int = 0
     ring_slots: int = 512
     pktgen_seed: int = 42
@@ -199,16 +220,24 @@ class Scenario:
 
 @dataclasses.dataclass(frozen=True)
 class ShardPlan:
-    """Host-group partition plus the conservative lookahead window.
+    """Host-group partition plus the conservative lookahead bounds.
 
     ``groups[i]`` is the tuple of host names shard ``i`` owns.
     ``lookahead_ns`` is the minimum delay of any shard-crossing link
     (None when no link crosses a boundary — single shard, or fully
-    disconnected groups — in which case one window covers the run).
+    disconnected groups — in which case one window covers the run); it
+    is the width of the classic global barrier.
+    ``lookahead_matrix`` refines that to directed shard pairs: sorted
+    ``(src_shard, dst_shard, min_crossing_delay_ns)`` triples, one per
+    pair of groups joined by at least one link — the adaptive schedule
+    barriers each pair at its own cadence.  ``compute`` fills it; a
+    hand-built plan may leave it ``None``, in which case
+    :class:`ShardedSimulator` derives it from the topology.
     """
 
     groups: tuple[tuple[str, ...], ...]
     lookahead_ns: int | None
+    lookahead_matrix: tuple[tuple[int, int, int], ...] | None = None
 
     @classmethod
     def compute(cls, topology: Topology, shards: int) -> ShardPlan:
@@ -232,8 +261,11 @@ class ShardPlan:
                 1 if index < len(hosts) % shards else 0)
             groups.append(tuple(hosts[start:start + size]))
             start += size
+        matrix = _crossing_matrix(topology, groups)
         plan = cls(groups=tuple(groups),
-                   lookahead_ns=_min_crossing_delay(topology, groups))
+                   lookahead_ns=(min(delay for _, _, delay in matrix)
+                                 if matrix else None),
+                   lookahead_matrix=matrix)
         return plan
 
     def owners(self) -> dict[str, int]:
@@ -242,9 +274,16 @@ class ShardPlan:
                 for index, group in enumerate(self.groups)
                 for host in group}
 
+    def pair_lookaheads(self) -> dict[tuple[int, int], int] | None:
+        """``(src_shard, dst_shard) -> lookahead_ns`` (None if unset)."""
+        if self.lookahead_matrix is None:
+            return None
+        return {(src, dst): delay
+                for src, dst, delay in self.lookahead_matrix}
+
     def validate_for(self, topology: Topology) -> None:
         """A manually-built plan must cover every NFV host exactly once
-        and must not claim a lookahead larger than the links allow."""
+        and must not claim lookaheads larger than the links allow."""
         hosts = [name for name in topology.node_names
                  if topology.node(name).kind is NodeKind.NFV_HOST]
         owned = [host for group in self.groups for host in group]
@@ -253,7 +292,9 @@ class ShardPlan:
         if set(owned) != set(hosts):
             raise ValueError(
                 "plan must cover every NFV host exactly once")
-        bound = _min_crossing_delay(topology, self.groups)
+        actual = _crossing_matrix(topology, self.groups)
+        bound = min((delay for _, _, delay in actual), default=None) \
+            if actual else None
         if bound is None:
             if self.lookahead_ns is not None:
                 raise ValueError(
@@ -262,29 +303,83 @@ class ShardPlan:
             raise ValueError(
                 f"lookahead_ns must be at most {bound} (the minimum "
                 "shard-crossing link delay)")
+        if self.lookahead_matrix is not None:
+            claimed = self.pair_lookaheads()
+            for src, dst, delay in actual:
+                stated = claimed.get((src, dst))
+                if stated is None:
+                    raise ValueError(
+                        f"lookahead_matrix is missing the crossing pair "
+                        f"{src}->{dst}; an absent pair would let the "
+                        "schedule outrun that link")
+                if stated > delay:
+                    raise ValueError(
+                        f"lookahead_matrix claims {stated} ns for pair "
+                        f"{src}->{dst} but the minimum crossing delay "
+                        f"is {delay} ns")
+                if stated < 1:
+                    raise ValueError(
+                        "per-pair lookaheads must be >= 1 ns")
 
 
-def _min_crossing_delay(topology: Topology,
-                        groups: typing.Sequence[tuple[str, ...]]
-                        ) -> int | None:
-    owner = {host: index
-             for index, group in enumerate(groups) for host in group}
-    crossing = [link.delay_ns for link in topology.links
-                if link.a in owner and link.b in owner
-                and owner[link.a] != owner[link.b]]
-    if not crossing:
-        return None
-    lookahead = min(crossing)
-    if lookahead < 1:
+def _crossing_matrix(topology: Topology,
+                     groups: typing.Sequence[tuple[str, ...]]
+                     ) -> tuple[tuple[int, int, int], ...]:
+    """Sorted directed ``(src, dst, min_delay)`` triples between groups,
+    rejecting zero-delay crossings (conservative sync needs >= 1 ns)."""
+    delays = topology.crossing_delays(groups)
+    if any(delay < 1 for delay in delays.values()):
         raise ValueError(
             "a zero-delay link crosses a shard boundary; conservative "
             "synchronization needs every crossing delay >= 1 ns")
-    return lookahead
+    return tuple(sorted((src, dst, delay)
+                        for (src, dst), delay in delays.items()))
 
 
 def _flow_key(flow: FiveTuple) -> tuple[str, str, int, int, int]:
     return (flow.src_ip, flow.dst_ip, flow.protocol,
             flow.src_port, flow.dst_port)
+
+
+class _PickleTransport:
+    """Legacy boundary wire format: one pickled tuple per event."""
+
+    name = "pickle"
+
+    @staticmethod
+    def encode(events: list[tuple]) -> list[tuple]:
+        return events
+
+    @staticmethod
+    def decode(payload: list[tuple]) -> list[tuple]:
+        return payload
+
+    @staticmethod
+    def units(events: list[tuple], payload: object) -> int:
+        return len(events)
+
+
+class _ColumnarTransport:
+    """Packed-column wire format: a few flat buffers per window/shard
+    (:class:`repro.net.batch.BoundaryBatch`)."""
+
+    name = "columnar"
+
+    @staticmethod
+    def encode(events: list[tuple]):
+        return encode_boundary_events(events)
+
+    @staticmethod
+    def decode(payload) -> list[tuple]:
+        return payload.decode()
+
+    @staticmethod
+    def units(events: list[tuple], payload) -> int:
+        return payload.buffer_count()
+
+
+_TRANSPORTS = {transport.name: transport
+               for transport in (_PickleTransport, _ColumnarTransport)}
 
 
 class ShardRuntime:
@@ -302,11 +397,12 @@ class ShardRuntime:
     """
 
     def __init__(self, scenario: Scenario, plan: ShardPlan,
-                 shard_id: int) -> None:
+                 shard_id: int, transport: str = "columnar") -> None:
         self.scenario = scenario
         self.plan = plan
         self.shard_id = shard_id
         self.owned: tuple[str, ...] = plan.groups[shard_id]
+        self._transport = _TRANSPORTS[transport]
         sim = self.sim = Simulator()
         self.network: BuiltNetwork = build_network(
             sim, scenario.topology, costs=scenario.costs,
@@ -316,6 +412,7 @@ class ShardRuntime:
             burst_size=scenario.burst_size,
             pool_size=scenario.pool_size,
             columnar=scenario.columnar,
+            verify=scenario.verify,
             seed=scenario.seed,
             only_hosts=self.owned)
         self.event_log = EventLog(sim)
@@ -387,12 +484,23 @@ class ShardRuntime:
                 only_hosts=self.owned)
             self.injector.arm()
 
-        # Boundary egress capture.
-        self._outbox: list[tuple] = []
+        # Boundary egress capture, staged per destination shard.  The
+        # capture sequence is one counter across every destination so
+        # the conductor's (arrival, source shard, capture order) sort
+        # matches the single-outbox era exactly.
+        self._outboxes: dict[int, list[tuple]] = {}
         self._boundary_seq = 0
         self.boundary_tx = 0
         self.boundary_frames_carried = 0
         self.boundary_dropped_at_rx = 0
+        # Transport odometers: windows this shard advanced through,
+        # encoded batches, pipe messages those batches amount to, and
+        # their serialized size.
+        self.windows_advanced = 0
+        self.transport_batches = 0
+        self.transport_messages = 0
+        self.transport_bytes = 0
+        owners = plan.owners()
         for wire in self.network.boundary_wires:
             port = self.network.hosts[wire.src_host].port(wire.src_port)
             if port.on_egress is not None:
@@ -400,7 +508,8 @@ class ShardRuntime:
                     f"boundary port {wire.src_host}:{wire.src_port} "
                     "already hooked")
             port.on_egress = (
-                lambda packet, w=wire: self._capture(w, packet))
+                lambda packet, w=wire, d=owners[wire.dst_host]:
+                self._capture(w, d, packet))
 
     # ------------------------------------------------------------------
     # Measurement
@@ -421,7 +530,8 @@ class ShardRuntime:
     # ------------------------------------------------------------------
     # Boundary codec
     # ------------------------------------------------------------------
-    def _capture(self, wire: BoundaryWire, packet: Packet) -> None:
+    def _capture(self, wire: BoundaryWire, dst_shard: int,
+                 packet: Packet) -> None:
         """Serialize an egressing frame into a boundary event.
 
         Mirrors the measurement sink's ownership contract: the local
@@ -434,7 +544,7 @@ class ShardRuntime:
         encoded_annotations = (tuple(sorted(annotations.items()))
                                if annotations else None)
         self._boundary_seq += 1
-        self._outbox.append((
+        self._outboxes.setdefault(dst_shard, []).append((
             self.sim.now + wire.delay_ns, self._boundary_seq,
             wire.dst_host, wire.dst_port,
             flow.src_ip, flow.dst_ip, flow.protocol,
@@ -446,11 +556,21 @@ class ShardRuntime:
         if pool is not None and packet.ref_count == 0:
             pool.reclaim(packet)
 
-    def deliver(self, events: typing.Sequence[tuple]) -> None:
-        """Schedule inbound boundary events (already globally sorted by
-        arrival time, source shard, capture order)."""
+    def deliver(self, group: typing.Sequence[tuple[int, object]]) -> None:
+        """Decode and schedule one round's inbound boundary traffic.
+
+        ``group`` is ``(source_shard, encoded_payload)`` pairs, one per
+        source that captured toward this shard in the round.  Rows merge
+        across sources by (arrival time, source shard, capture order) —
+        the same global order the single-outbox conductor used.
+        """
+        rows: list[tuple[int, int, int, tuple]] = []
+        for src_shard, payload in group:
+            for event in self._transport.decode(payload):
+                rows.append((event[0], src_shard, event[1], event))
+        rows.sort(key=lambda row: row[:3])
         now = self.sim.now
-        for event in events:
+        for _arrival, _src, _seq, event in rows:
             self.sim.call_later(event[0] - now, self._deliver_one, event)
 
     def _deliver_one(self, event: tuple) -> None:
@@ -477,12 +597,27 @@ class ShardRuntime:
     # Conductor interface
     # ------------------------------------------------------------------
     def advance(self, until_ns: int) -> None:
+        self.windows_advanced += 1
         self.sim.run(until=until_ns)
 
-    def take_outbox(self) -> list[tuple]:
-        outbox = self._outbox
-        self._outbox = []
-        return outbox
+    def take_outbox(self) -> dict[int, object]:
+        """Encode this window's captures, one payload per destination
+        shard, and account the transport odometers."""
+        staged = self._outboxes
+        self._outboxes = {}
+        encoded: dict[int, object] = {}
+        for dst_shard in sorted(staged):
+            boundary_events = staged[dst_shard]
+            if not boundary_events:
+                continue
+            payload = self._transport.encode(boundary_events)
+            self.transport_batches += 1
+            self.transport_messages += self._transport.units(
+                boundary_events, payload)
+            self.transport_bytes += len(
+                pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+            encoded[dst_shard] = payload
+        return encoded
 
     def collect(self) -> dict:
         """Everything observable, as picklable primitives."""
@@ -522,7 +657,37 @@ class ShardRuntime:
             "boundary_tx": self.boundary_tx,
             "boundary_frames_carried": self.boundary_frames_carried,
             "boundary_dropped_at_rx": self.boundary_dropped_at_rx,
+            # Schedule/transport odometers: identical between workers=0
+            # and workers=N, but legitimately different across schedule
+            # modes (window count) and wire formats (messages/bytes) —
+            # parity suites strip this key when comparing across those.
+            "transport": {
+                "mode": self._transport.name,
+                "windows": self.windows_advanced,
+                "batches": self.transport_batches,
+                "messages": self.transport_messages,
+                "bytes": self.transport_bytes,
+            },
+            "verify": self._verify_report(),
         }
+
+    def _verify_report(self) -> dict[str, dict] | None:
+        """Per-host ownership audits when the scenario ran verified.
+
+        ``expect_drained=False``: a scenario may legitimately end with
+        packets still queued in rings, so only double-releases, foreign
+        frees, and conservation imbalance count as findings.
+        """
+        if not self.scenario.verify:
+            return None
+        reports: dict[str, dict] = {}
+        for name, host in self.network.hosts.items():
+            found = host.verifier.report(expect_drained=False)
+            reports[name] = {
+                "issues": [str(issue) for issue in found.issues],
+                "audit": found.audit,
+            }
+        return reports
 
 
 class ShardedRunResult:
@@ -546,6 +711,12 @@ class ShardedRunResult:
         #: when the scenario ran without a control plane).
         self.controls: list[dict | None] = [
             result.get("control") for result in shard_results]
+        #: Per-host ownership audits (None when Scenario(verify=False)).
+        self.verify_reports: dict[str, dict] | None = None
+        if any(result.get("verify") for result in shard_results):
+            self.verify_reports = {}
+            for result in shard_results:
+                self.verify_reports.update(result["verify"] or {})
 
     @property
     def sent(self) -> int:
@@ -581,19 +752,52 @@ class ShardedRunResult:
             for result in self.shard_results)
         return out
 
+    def transport_summary(self) -> dict[str, int | str | float]:
+        """Aggregated schedule/transport odometers across all shards:
+        total windows advanced, boundary batches, pipe messages the
+        payloads amount to, serialized bytes, and messages per
+        non-empty batch (the per-window pipe-traffic headline)."""
+        windows = batches = messages = size = 0
+        mode = "pickle"
+        for result in self.shard_results:
+            transport = result["transport"]
+            mode = transport["mode"]
+            windows += transport["windows"]
+            batches += transport["batches"]
+            messages += transport["messages"]
+            size += transport["bytes"]
+        return {
+            "mode": mode,
+            "windows": windows,
+            "batches": batches,
+            "messages": messages,
+            "bytes": size,
+            "messages_per_batch": messages / batches if batches else 0.0,
+        }
+
 
 class ShardedSimulator:
     """Run a :class:`Scenario` over one or more conservative shards.
 
     ``workers=0`` runs every shard in-process (deterministic, fully
     debuggable); ``workers=N`` spreads the shards over N
-    ``multiprocessing`` workers with the identical window/boundary
+    ``multiprocessing`` workers with the identical round/boundary
     protocol.  ``shards=1`` is byte-identical to the monolithic kernel.
+
+    ``adaptive_windows=True`` (default) schedules each shard against
+    its inbound neighbors' clocks via the plan's per-pair lookahead
+    matrix; ``False`` forces the classic global barrier every
+    ``lookahead_ns``.  ``transport`` picks the boundary wire format:
+    ``"columnar"`` (default, packed :class:`BoundaryBatch` columns) or
+    ``"pickle"`` (one tuple per event).  All four combinations produce
+    identical merged observables.
     """
 
     def __init__(self, scenario: Scenario, shards: int = 1,
                  workers: int = 0,
-                 plan: ShardPlan | None = None) -> None:
+                 plan: ShardPlan | None = None,
+                 adaptive_windows: bool = True,
+                 transport: str = "columnar") -> None:
         scenario.validate()
         self.scenario = scenario
         if plan is None:
@@ -603,7 +807,20 @@ class ShardedSimulator:
         self.plan = plan
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                f"expected one of {sorted(_TRANSPORTS)}")
         self.workers = min(workers, len(plan.groups))
+        self.adaptive_windows = adaptive_windows
+        self.transport = transport
+        lookaheads = plan.pair_lookaheads()
+        if lookaheads is None:
+            # Hand-built plan without a matrix: derive the true per-pair
+            # bounds from the topology (always causally safe; the manual
+            # lookahead_ns only governs the uniform schedule).
+            lookaheads = scenario.topology.crossing_delays(plan.groups)
+        self._pair_lookaheads = lookaheads
 
     # ------------------------------------------------------------------
     def run(self) -> ShardedRunResult:
@@ -614,43 +831,107 @@ class ShardedSimulator:
         return ShardedRunResult(self.plan, shard_results)
 
     # ------------------------------------------------------------------
-    # Window schedule and boundary routing (shared by both modes)
+    # Round schedule and boundary routing (shared by both modes)
     # ------------------------------------------------------------------
-    def _windows(self) -> list[int]:
+    def _windows(self) -> typing.Iterator[int]:
+        """Global-barrier window edges, lazily.
+
+        A generator rather than a list: a long run with a microsecond
+        lookahead has millions of edges, and materializing them up
+        front costs memory before the first event fires.
+        """
         duration = self.scenario.duration_ns
         lookahead = self.plan.lookahead_ns
-        if len(self.plan.groups) == 1 or lookahead is None:
-            return [duration]
-        edges = list(range(lookahead, duration, lookahead))
-        edges.append(duration)
-        return edges
+        if len(self.plan.groups) > 1 and lookahead is not None:
+            yield from range(lookahead, duration, lookahead)
+        yield duration
 
-    def _route(self, tagged: list[tuple[int, tuple]]
-               ) -> dict[int, list[tuple]]:
-        """Sort captured events deterministically and bucket them by the
-        destination host's owning shard."""
-        owners = self.plan.owners()
-        tagged.sort(key=lambda item: (item[1][0], item[0], item[1][1]))
-        inbound: dict[int, list[tuple]] = {}
-        for _src_shard, event in tagged:
-            inbound.setdefault(owners[event[2]], []).append(event)
-        return inbound
+    def _rounds(self) -> typing.Iterator[dict[int, int]]:
+        """Yield ``{shard: advance_to_ns}`` per conductor round.
+
+        Uniform mode: every shard advances to every global window edge
+        (the classic barrier).  Adaptive mode: each shard's bound is
+        the minimum over its inbound crossing pairs of the source
+        shard's clock plus that pair's lookahead, all bounds computed
+        from the clocks at the *start* of the round (events a source
+        captures inside the round arrive no earlier than its old clock
+        plus the pair lookahead, so every target handed out stays
+        causally safe).  A shard only moves when it can take at least
+        its smallest inbound lookahead in one step — without that
+        quantum, fast neighbors would drag slow pairs through
+        micro-windows — or when it can finish the run.  Shards with no
+        inbound pairs finish in the first round.  Uniform-delay
+        topologies yield exactly the global-barrier edges.
+        """
+        count = len(self.plan.groups)
+        if not self.adaptive_windows or count == 1 \
+                or not self._pair_lookaheads:
+            for upto in self._windows():
+                yield {shard: upto for shard in range(count)}
+            return
+        duration = self.scenario.duration_ns
+        inbound: dict[int, list[tuple[int, int]]] = {}
+        for (src, dst), lookahead in sorted(self._pair_lookaheads.items()):
+            inbound.setdefault(dst, []).append((src, lookahead))
+        quantum = {dst: min(lookahead for _, lookahead in pairs)
+                   for dst, pairs in inbound.items()}
+        clocks = [0] * count
+        while min(clocks) < duration:
+            targets: dict[int, int] = {}
+            for shard in range(count):
+                now = clocks[shard]
+                if now >= duration:
+                    continue
+                pairs = inbound.get(shard)
+                bound = duration if not pairs else min(
+                    clocks[src] + lookahead for src, lookahead in pairs)
+                target = min(bound, duration)
+                if target <= now:
+                    continue
+                if target >= duration or target - now >= quantum[shard]:
+                    targets[shard] = target
+            if not targets:  # pragma: no cover - the minimum-clock
+                # shard can always take a full quantum, so the schedule
+                # cannot stall; this guards the invariant.
+                raise RuntimeError("adaptive window schedule stalled")
+            for shard, upto in targets.items():
+                clocks[shard] = upto
+            yield targets
+
+    def _route(self, outboxes: dict[int, dict[int, object]],
+               pending: dict[int, list[list[tuple[int, object]]]]) -> None:
+        """Stage one round's encoded payloads for their destinations.
+
+        ``outboxes`` maps source shard -> {destination shard: payload}.
+        Each destination receives the round's payloads as one *group*
+        (source-sorted); groups queue up until the destination's next
+        advance, which decodes and merges them in round order.
+        """
+        destinations = {dst for box in outboxes.values() for dst in box}
+        for dst in sorted(destinations):
+            group = [(src, outboxes[src][dst])
+                     for src in sorted(outboxes) if dst in outboxes[src]]
+            pending.setdefault(dst, []).append(group)
 
     # ------------------------------------------------------------------
     # workers=0: every shard in this process
     # ------------------------------------------------------------------
     def _run_inline(self) -> list[dict]:
-        runtimes = [ShardRuntime(self.scenario, self.plan, index)
+        runtimes = [ShardRuntime(self.scenario, self.plan, index,
+                                 transport=self.transport)
                     for index in range(len(self.plan.groups))]
-        for upto in self._windows():
-            for runtime in runtimes:
-                runtime.advance(upto)
-            tagged = [(runtime.shard_id, event)
-                      for runtime in runtimes
-                      for event in runtime.take_outbox()]
-            if tagged:
-                for shard_id, events in self._route(tagged).items():
-                    runtimes[shard_id].deliver(events)
+        pending: dict[int, list[list[tuple[int, object]]]] = {}
+        for targets in self._rounds():
+            outboxes: dict[int, dict[int, object]] = {}
+            for shard_id in sorted(targets):
+                runtime = runtimes[shard_id]
+                for group in pending.pop(shard_id, ()):
+                    runtime.deliver(group)
+                runtime.advance(targets[shard_id])
+                captured = runtime.take_outbox()
+                if captured:
+                    outboxes[shard_id] = captured
+            self._route(outboxes, pending)
         return [runtime.collect() for runtime in runtimes]
 
     # ------------------------------------------------------------------
@@ -673,26 +954,31 @@ class ShardedSimulator:
             parent, child = context.Pipe()
             proc = context.Process(
                 target=_shard_worker,
-                args=(child, self.scenario, self.plan, shard_ids),
+                args=(child, self.scenario, self.plan, shard_ids,
+                      self.transport),
                 daemon=True)
             proc.start()
             child.close()
             pipes[worker] = parent
             procs[worker] = proc
         try:
-            pending: dict[int, list[tuple]] = {}
-            for upto in self._windows():
-                for worker, shard_ids in assignment.items():
-                    inbound = {shard_id: pending.get(shard_id, [])
-                               for shard_id in shard_ids}
-                    pipes[worker].send(("advance", upto, inbound))
-                tagged: list[tuple[int, tuple]] = []
-                for worker in assignment:
-                    payload = self._receive(pipes[worker])
-                    for shard_id, events in payload.items():
-                        tagged.extend((shard_id, event)
-                                      for event in events)
-                pending = self._route(tagged) if tagged else {}
+            pending: dict[int, list[list[tuple[int, object]]]] = {}
+            for targets in self._rounds():
+                # Only workers owning an advancing shard hear about the
+                # round; each message carries the shard's target and the
+                # delivery groups queued since its last advance.
+                by_worker: dict[int, dict[int, tuple]] = {}
+                for shard_id in sorted(targets):
+                    orders = by_worker.setdefault(
+                        shard_id % self.workers, {})
+                    orders[shard_id] = (targets[shard_id],
+                                        pending.pop(shard_id, []))
+                for worker in sorted(by_worker):
+                    pipes[worker].send(("advance", by_worker[worker]))
+                outboxes: dict[int, dict[int, object]] = {}
+                for worker in sorted(by_worker):
+                    outboxes.update(self._receive(pipes[worker]))
+                self._route(outboxes, pending)
             for worker in assignment:
                 pipes[worker].send(("finish",))
             results: dict[int, dict] = {}
@@ -716,27 +1002,34 @@ class ShardedSimulator:
 
 
 def _shard_worker(conn: typing.Any, scenario: Scenario, plan: ShardPlan,
-                  shard_ids: list[int]) -> None:
+                  shard_ids: list[int],
+                  transport: str = "columnar") -> None:
     """Worker process: owns one or more shards, speaks the pipe protocol.
 
-    Messages in: ``("advance", until_ns, {shard: inbound_events})`` and
-    ``("finish",)``.  Replies: ``("ok", {shard: outbox})``,
+    Messages in: ``("advance", {shard: (until_ns, delivery_groups)})``
+    and ``("finish",)``.  Replies: ``("ok", {shard: {dst: payload}})``,
     ``("result", {shard: collected})``, or ``("error", traceback)``.
+    Boundary payloads stay encoded end to end — the conductor routes
+    them without decoding; only the destination shard unpacks.
     """
     try:
-        runtimes = {shard_id: ShardRuntime(scenario, plan, shard_id)
+        runtimes = {shard_id: ShardRuntime(scenario, plan, shard_id,
+                                           transport=transport)
                     for shard_id in shard_ids}
         while True:
             message = conn.recv()
             if message[0] == "advance":
-                _kind, until_ns, inbound = message
-                outboxes: dict[int, list[tuple]] = {}
-                for shard_id, runtime in runtimes.items():
-                    events = inbound.get(shard_id)
-                    if events:
-                        runtime.deliver(events)
+                _kind, orders = message
+                outboxes: dict[int, dict[int, object]] = {}
+                for shard_id in sorted(orders):
+                    until_ns, groups = orders[shard_id]
+                    runtime = runtimes[shard_id]
+                    for group in groups:
+                        runtime.deliver(group)
                     runtime.advance(until_ns)
-                    outboxes[shard_id] = runtime.take_outbox()
+                    captured = runtime.take_outbox()
+                    if captured:
+                        outboxes[shard_id] = captured
                 conn.send(("ok", outboxes))
             elif message[0] == "finish":
                 conn.send(("result",

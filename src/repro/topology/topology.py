@@ -100,3 +100,33 @@ class Topology:
 
     def total_cores(self) -> int:
         return sum(spec.cores for spec in self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # Partition helpers
+    # ------------------------------------------------------------------
+    def crossing_delays(self, groups: typing.Sequence[typing.Sequence[str]]
+                        ) -> dict[tuple[int, int], int]:
+        """Minimum link delay between each directed pair of host groups.
+
+        ``groups[i]`` is a collection of node names; the result maps
+        ``(src_group, dst_group)`` to the smallest ``delay_ns`` of any
+        link joining the two groups (both directions of every crossing
+        link, since links are undirected).  Pairs with no crossing link
+        are absent.  Nodes outside every group are ignored, so partial
+        partitions (e.g. NFV hosts only) work unchanged.
+        """
+        owner: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                owner[name] = index
+        delays: dict[tuple[int, int], int] = {}
+        for link in self._links.values():
+            src = owner.get(link.a)
+            dst = owner.get(link.b)
+            if src is None or dst is None or src == dst:
+                continue
+            for pair in ((src, dst), (dst, src)):
+                known = delays.get(pair)
+                if known is None or link.delay_ns < known:
+                    delays[pair] = link.delay_ns
+        return delays

@@ -184,6 +184,39 @@ class TestSim005CrossShardSharing:
         assert self.sharded_violations(elsewhere,
                                        path="src/repro/core/app.py") == []
 
+    def test_rejects_per_event_pipe_sends_in_boundary_loops(self):
+        bad = """
+            import pickle
+
+            def drain(pipe, outbox):
+                for event in outbox:
+                    pipe.send(event)
+
+            def stage(blobs, boundary_events):
+                for event in boundary_events:
+                    blobs.append(pickle.dumps(event))
+        """
+        found = self.sharded_violations(bad)
+        assert len(found) == 2
+        assert "per-event send()" in found[0].message
+        assert "per-event dumps()" in found[1].message
+        assert "BoundaryBatch" in found[0].message
+
+    def test_accepts_encode_once_then_send_and_peer_loops(self):
+        good = """
+            import pickle
+
+            def ship(pipe, outbox):
+                payload = encode_boundary_events(outbox)
+                pipe.send(payload)
+                return len(pickle.dumps(payload))
+
+            def conduct(pipes, by_worker):
+                for worker in sorted(by_worker):
+                    pipes[worker].send(("advance", by_worker[worker]))
+        """
+        assert self.sharded_violations(good) == []
+
 
 class TestSim006ColumnarKernelPurity:
     def test_rejects_row_objects_and_per_row_iteration(self):

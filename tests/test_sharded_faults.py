@@ -13,7 +13,11 @@ from repro.faults.plan import FaultPlan, LinkFlap, NfCrash
 from repro.sim import MS
 from repro.sim.sharded import ShardedSimulator
 
-from tests.test_sharded_parity import make_scenario, strip_pool
+from tests.test_sharded_parity import (
+    het_scenario,
+    make_scenario,
+    strip_pool,
+)
 
 HOSTS = ("h0", "h1", "h2", "h3")
 
@@ -86,3 +90,55 @@ class TestCrossShardFaults:
         assert [(event.get("kind"), event.host)
                 for event in injected] \
             == [("LinkFlap", "h3"), ("NfCrash", "h2")]
+
+
+def flapped_het_scenario():
+    """The mixed 50 us / 5 ms chain with the *slow* crossing link
+    (h2-h3, 5 ms WAN) flapped while end-to-end traffic is in flight —
+    the adaptive schedule advances h3's shard in long WAN strides, and
+    the flap must still land at the exact same nanosecond."""
+    scenario = het_scenario()
+    plan = FaultPlan()
+    # End-to-end path delay is ~10 ms, so frames reach h3's "to-h2"
+    # port from ~10 ms on; a 5 ms outage starting at 11 ms eats a slice
+    # of the delivery stream mid-run.
+    plan.add(LinkFlap(at_ns=11 * MS, port="to-h2", host="h3",
+                      down_ns=5 * MS))
+    scenario.fault_plan = plan
+    return scenario
+
+
+class TestFaultOnSlowLinkUnderAdaptiveSchedule:
+    @pytest.fixture(scope="class")
+    def het_runs(self):
+        from tests.test_sharded_parity import DEFAULT_WORKERS
+        base = ShardedSimulator(flapped_het_scenario(), shards=1).run()
+        adaptive = ShardedSimulator(flapped_het_scenario(), shards=4,
+                                    workers=DEFAULT_WORKERS,
+                                    adaptive_windows=True).run()
+        return base, adaptive
+
+    def test_flap_fires_on_owning_shard_at_exact_time(self, het_runs):
+        _base, adaptive = het_runs
+        fired = [fault for result in adaptive.shard_results
+                 for fault in result["fired_faults"]]
+        assert [(when, kind, host) for when, kind, host, _ in fired] \
+            == [(11 * MS, "LinkFlap", "h3")]
+        assert adaptive.shard_results[3]["fired_faults"] != []
+
+    def test_observables_match_single_shard(self, het_runs):
+        base, adaptive = het_runs
+        for name in HOSTS:
+            assert (strip_pool(adaptive.host_summary(name))
+                    == strip_pool(base.host_summary(name))), name
+            assert adaptive.deliveries(name) \
+                == base.deliveries(name), name
+        assert adaptive.totals() == base.totals()
+        assert adaptive.fired_faults == base.fired_faults
+
+    def test_flap_really_dropped_wan_frames(self, het_runs):
+        base, _adaptive = het_runs
+        assert base.host_summary("h3")["nic_link_dropped"] > 0
+        # The outage cost deliveries relative to the fault-free run.
+        from tests.test_sharded_parity import het_run
+        assert base.received < het_run(shards=1).received

@@ -157,23 +157,34 @@ def run_monolithic(scenario: Scenario) -> dict:
 #: then goes over multiprocessing pipes instead of staying in-process.
 DEFAULT_WORKERS = int(os.environ.get("SDNFV_SHARD_WORKERS", "0"))
 
-_RUNS: dict[tuple[int, int], object] = {}
+_RUNS: dict[tuple, object] = {}
 
 
-def sharded_run(shards: int, workers: int | None = None):
+def sharded_run(shards: int, workers: int | None = None,
+                adaptive: bool = True, transport: str = "columnar"):
     """Run (and memoize) the reference scenario at a shard count."""
     if workers is None:
         workers = DEFAULT_WORKERS if shards > 1 else 0
-    key = (shards, workers)
+    key = (shards, workers, adaptive, transport)
     if key not in _RUNS:
         _RUNS[key] = ShardedSimulator(make_scenario(), shards=shards,
-                                      workers=workers).run()
+                                      workers=workers,
+                                      adaptive_windows=adaptive,
+                                      transport=transport).run()
     return _RUNS[key]
 
 
 def strip_pool(summary: dict) -> dict:
     return {key: value for key, value in summary.items()
             if key not in POOL_KEYS}
+
+
+def strip_transport(shard_result: dict) -> dict:
+    """Drop the schedule/transport odometers: they legitimately vary
+    with the window schedule (window count) and wire format
+    (messages/bytes) while every model observable stays identical."""
+    return {key: value for key, value in shard_result.items()
+            if key != "transport"}
 
 
 class TestGoldenParity:
@@ -304,7 +315,262 @@ class TestShardPlan:
         assert simulator.plan is plan
 
 
-class TestScenarioValidation:
+class TestScheduleTransportParity:
+    """Adaptive windows and the columnar wire format are pure perf
+    knobs: all four schedule x transport combinations are byte-identical
+    on every merged observable (the uniform reference topology also
+    pins that adaptive degenerates to the global-barrier schedule)."""
+
+    @pytest.mark.parametrize("adaptive", [True, False])
+    @pytest.mark.parametrize("transport", ["columnar", "pickle"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_all_combinations_byte_identical(self, shards, adaptive,
+                                             transport):
+        reference = sharded_run(shards=shards)
+        run = sharded_run(shards=shards, adaptive=adaptive,
+                          transport=transport)
+        assert ([strip_transport(result)
+                 for result in run.shard_results]
+                == [strip_transport(result)
+                    for result in reference.shard_results])
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_uniform_link_delays_degenerate_to_global_barrier(self,
+                                                              shards):
+        """On a uniform-delay topology the adaptive schedule advances
+        every shard through exactly the global-barrier window count."""
+        adaptive = sharded_run(shards=shards, adaptive=True)
+        uniform = sharded_run(shards=shards, adaptive=False)
+        expected = DURATION // LINK_DELAY  # 10 ms / 500 us windows
+        for result in uniform.shard_results:
+            assert result["transport"]["windows"] == expected
+        for result in adaptive.shard_results:
+            assert result["transport"]["windows"] == expected
+
+    def test_columnar_transport_ships_fewer_messages(self):
+        columnar = sharded_run(shards=4, transport="columnar")
+        pickled = sharded_run(shards=4, transport="pickle")
+        c_summary = columnar.transport_summary()
+        p_summary = pickled.transport_summary()
+        # Same boundary traffic, same batch count...
+        assert c_summary["batches"] == p_summary["batches"] > 0
+        # ...but a handful of flat buffers per batch instead of one
+        # pickled tuple per packet.
+        assert p_summary["messages"] > c_summary["messages"]
+        assert c_summary["mode"] == "columnar"
+        assert p_summary["messages"] == sum(
+            result["boundary_tx"] for result in pickled.shard_results)
+
+    def test_transport_counters_account_real_bytes(self):
+        run = sharded_run(shards=2)
+        summary = run.transport_summary()
+        assert summary["bytes"] > 0
+        assert summary["windows"] > 0
+        assert summary["messages_per_batch"] > 0
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            ShardedSimulator(make_scenario(), shards=2,
+                             transport="carrier-pigeon")
+
+
+HET_FAST = 50 * US
+HET_SLOW = 5 * MS
+HET_DURATION = 30 * MS
+
+
+def het_topology() -> Topology:
+    """Four hosts: a 50 us intra-DC hop between h1 and h2, 5 ms WAN
+    links at both ends — the shape where one global lookahead forces
+    microsecond barriers on shards coupled only through the WAN."""
+    topology = Topology()
+    for index in range(4):
+        topology.add_node(NodeSpec(name=f"h{index}", cores=4))
+    topology.add_link(Link(a="h0", b="h1", delay_ns=HET_SLOW))
+    topology.add_link(Link(a="h1", b="h2", delay_ns=HET_FAST))
+    topology.add_link(Link(a="h2", b="h3", delay_ns=HET_SLOW))
+    return topology
+
+
+def het_scenario() -> Scenario:
+    return Scenario(
+        topology=het_topology(),
+        graph=chain_graph(),
+        placement={"a": "h0", "b": "h1", "c": "h2", "d": "h3"},
+        duration_ns=HET_DURATION,
+        traffic=[
+            TrafficSpec(host="h0",
+                        flow=FiveTuple("10.0.0.1", "10.0.0.2", 6, 1, 80),
+                        rate_mbps=400.0, stop_ns=6 * MS),
+            TrafficSpec(host="h0",
+                        flow=FiveTuple("10.0.0.3", "10.0.0.4", 17, 2, 53),
+                        rate_mbps=200.0, start_ns=1 * MS, stop_ns=5 * MS),
+        ],
+    )
+
+
+_HET_RUNS: dict[tuple, object] = {}
+
+
+def het_run(shards: int, workers: int | None = None,
+            adaptive: bool = True, transport: str = "columnar"):
+    if workers is None:
+        workers = DEFAULT_WORKERS if shards > 1 else 0
+    key = (shards, workers, adaptive, transport)
+    if key not in _HET_RUNS:
+        _HET_RUNS[key] = ShardedSimulator(het_scenario(), shards=shards,
+                                          workers=workers,
+                                          adaptive_windows=adaptive,
+                                          transport=transport).run()
+    return _HET_RUNS[key]
+
+
+class TestHeterogeneousDelays:
+    """Mixed 50 us / 5 ms crossing links: the adaptive schedule must
+    change only how often shards barrier, never what the network did."""
+
+    @pytest.mark.parametrize("adaptive", [True, False])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_parity_with_single_shard(self, shards, adaptive):
+        base = het_run(shards=1)
+        run = het_run(shards=shards, adaptive=adaptive)
+        for name in ("h0", "h1", "h2", "h3"):
+            assert (strip_pool(run.host_summary(name))
+                    == strip_pool(base.host_summary(name))), name
+            assert run.deliveries(name) == base.deliveries(name), name
+            assert (run.hosts[name]["latency_samples"]
+                    == base.hosts[name]["latency_samples"]), name
+        assert run.totals() == base.totals()
+        assert len(run.events) == len(base.events)
+        assert run.received > 500  # traffic really crossed the WAN
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_adaptive_identical_to_uniform_schedule(self, shards):
+        adaptive = het_run(shards=shards, adaptive=True)
+        uniform = het_run(shards=shards, adaptive=False)
+        assert ([strip_transport(result)
+                 for result in adaptive.shard_results]
+                == [strip_transport(result)
+                    for result in uniform.shard_results])
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_workers_bit_equal_to_inline_on_adaptive_schedule(self,
+                                                              shards):
+        inline = het_run(shards=shards, workers=0)
+        piped = het_run(shards=shards, workers=2)
+        assert piped.shard_results == inline.shard_results
+
+    def test_adaptive_barriers_far_less_on_wan_pairs(self):
+        """At shards=4 only the h1/h2 pair needs 50 us windows; the
+        WAN-coupled end shards advance at 5 ms cadence instead of
+        being dragged through every micro-window."""
+        adaptive = het_run(shards=4, adaptive=True)
+        uniform = het_run(shards=4, adaptive=False)
+        windows = [result["transport"]["windows"]
+                   for result in adaptive.shard_results]
+        per_shard_uniform = HET_DURATION // HET_FAST  # 600 micro-windows
+        for result in uniform.shard_results:
+            assert result["transport"]["windows"] == per_shard_uniform
+        # The fast pair still barriers at ~50 us cadence...
+        assert windows[1] >= per_shard_uniform
+        assert windows[2] >= per_shard_uniform
+        # ...but the WAN-coupled end shards advance in 5 ms strides:
+        # two orders of magnitude fewer barriers each.
+        assert windows[0] * 50 < per_shard_uniform
+        assert windows[3] * 50 < per_shard_uniform
+        assert sum(windows) < 4 * per_shard_uniform
+
+    def test_compute_builds_per_pair_matrix(self):
+        plan = ShardPlan.compute(het_topology(), 4)
+        assert plan.lookahead_ns == HET_FAST
+        assert plan.lookahead_matrix == (
+            (0, 1, HET_SLOW), (1, 0, HET_SLOW),
+            (1, 2, HET_FAST), (2, 1, HET_FAST),
+            (2, 3, HET_SLOW), (3, 2, HET_SLOW))
+        assert plan.pair_lookaheads()[(1, 2)] == HET_FAST
+
+    def test_matrix_validation_rejects_unsafe_manual_plans(self):
+        topology = het_topology()
+        groups = (("h0",), ("h1",), ("h2",), ("h3",))
+        with pytest.raises(ValueError, match="missing the crossing"):
+            ShardPlan(groups=groups, lookahead_ns=HET_FAST,
+                      lookahead_matrix=((0, 1, HET_SLOW),)
+                      ).validate_for(topology)
+        too_fast = (
+            (0, 1, HET_SLOW), (1, 0, HET_SLOW),
+            (1, 2, HET_FAST), (2, 1, HET_FAST),
+            (2, 3, HET_SLOW + 1), (3, 2, HET_SLOW))
+        with pytest.raises(ValueError, match="minimum crossing delay"):
+            ShardPlan(groups=groups, lookahead_ns=HET_FAST,
+                      lookahead_matrix=too_fast).validate_for(topology)
+
+    def test_manual_plan_without_matrix_derives_from_topology(self):
+        plan = ShardPlan(groups=(("h0",), ("h1",), ("h2",), ("h3",)),
+                         lookahead_ns=HET_FAST)
+        simulator = ShardedSimulator(het_scenario(), plan=plan)
+        assert simulator.plan is plan
+        assert simulator._pair_lookaheads[(1, 2)] == HET_FAST
+        assert simulator._pair_lookaheads[(0, 1)] == HET_SLOW
+
+
+class TestWindowSchedule:
+    """The global-barrier edge stream is lazy: long runs with small
+    lookaheads must not materialize millions of edges up front."""
+
+    def huge_simulator(self) -> ShardedSimulator:
+        scenario = make_scenario()
+        scenario.duration_ns = 10**15  # ~11.6 days of simulated time
+        return ShardedSimulator(scenario, shards=2,
+                                adaptive_windows=False)
+
+    def test_windows_is_a_generator(self):
+        simulator = self.huge_simulator()
+        windows = simulator._windows()
+        assert iter(windows) is windows  # a true lazy iterator
+        from itertools import islice
+        assert list(islice(windows, 3)) == [
+            LINK_DELAY, 2 * LINK_DELAY, 3 * LINK_DELAY]
+
+    def test_rounds_are_lazy_too(self):
+        simulator = self.huge_simulator()
+        from itertools import islice
+        first, second = islice(simulator._rounds(), 2)
+        assert first == {0: LINK_DELAY, 1: LINK_DELAY}
+        assert second == {0: 2 * LINK_DELAY, 1: 2 * LINK_DELAY}
+
+    def test_final_partial_window_lands_on_duration(self):
+        scenario = make_scenario()
+        scenario.duration_ns = LINK_DELAY * 3 + 7
+        simulator = ShardedSimulator(scenario, shards=2,
+                                     adaptive_windows=False)
+        assert list(simulator._windows()) == [
+            LINK_DELAY, 2 * LINK_DELAY, 3 * LINK_DELAY,
+            scenario.duration_ns]
+
+
+class TestVerifiedShardedRun:
+    """Scenario(verify=True): every host runs under the ownership
+    verifier's shadow ledger — including the boundary capture/delivery
+    hand-off — and the per-host audits come back clean."""
+
+    def test_verified_run_is_clean_and_unchanged(self):
+        scenario = het_scenario()
+        scenario.verify = True
+        verified = ShardedSimulator(scenario, shards=2).run()
+        plain = het_run(shards=2, workers=0)
+        assert verified.totals() == plain.totals()
+        assert verified.verify_reports is not None
+        assert set(verified.verify_reports) == {"h0", "h1", "h2", "h3"}
+        for name, found in verified.verify_reports.items():
+            assert found["issues"] == [], name
+            assert found["audit"]["balanced"], name
+        # Boundary-crossing packets really went through the shadow
+        # ledger: the destination side injected what the source shipped.
+        audits = verified.verify_reports
+        assert audits["h2"]["audit"]["injected"] > 0
+
+    def test_unverified_run_reports_none(self):
+        assert het_run(shards=2, workers=0).verify_reports is None
     def test_unplaced_service_rejected(self):
         scenario = make_scenario()
         del scenario.placement["c"]
