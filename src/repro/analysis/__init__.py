@@ -8,9 +8,16 @@ fast by making it easy to break silently:
 repo-specific rules — no wall clock or ambient randomness inside the
 simulation, integer nanoseconds only, ``__slots__`` on hot-path
 classes, no blocking IO in NF handlers, balanced packet-buffer
-hand-offs, and no mutation of flow-table dicts while iterating.  The
-CLI lives in ``tools/sdnfv_lint.py`` and runs as a blocking CI gate;
-the repo must pass its own lint clean.
+hand-offs, no mutation of flow-table dicts while iterating, and the
+NF001–NF003 action-profile consistency checks.  The CLI lives in
+``tools/sdnfv_lint.py`` and runs as a blocking CI gate; the repo must
+pass its own lint clean.
+
+**Profiles** (:mod:`repro.analysis.profiles`): the AST action-profile
+extractor — per-NF header-field read/write sets, drop/send/message
+capabilities, and the pairwise conflict relation that powers
+``ServiceGraph.auto_parallel_layout()``, the manager's parallel merge
+stage, and the NF-family lint rules.
 
 **Dynamic** (:mod:`repro.analysis.ownership`): an opt-in instrumented
 mode (``NfvHost(..., verify=True)``) that wraps the packet pool, ring
@@ -28,14 +35,26 @@ from repro.analysis.ownership import (
     OwnershipLedger,
     VerifyReport,
 )
+from repro.analysis.profiles import (
+    ActionProfile,
+    chain_conflicts,
+    declared_profile,
+    infer_profile,
+    profile_of,
+)
 
 __all__ = [
+    "ActionProfile",
     "HostVerifier",
     "LintViolation",
     "OwnershipError",
     "OwnershipIssue",
     "OwnershipLedger",
     "VerifyReport",
+    "chain_conflicts",
+    "declared_profile",
+    "infer_profile",
     "lint_paths",
     "lint_source",
+    "profile_of",
 ]

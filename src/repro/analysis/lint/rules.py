@@ -28,6 +28,16 @@ cheap to write and expensive to debug:
   unbalanced paths are leaks or double-releases.
 - **FLOW001** — flow-table-style dicts mutated while being iterated
   (the NF/controller concurrency the paper warns about, §3.4).
+- **NF001** — a class declares ``read_only = True`` but its inferred
+  action profile writes header/payload fields or can DROP; the manager
+  trusts the declaration when fusing parallel chains (§3.3), so a lying
+  bit corrupts shared packets.
+- **NF002** — a class's ``@action_profile(...)`` declaration fails to
+  cover its inferred effects; everything consulting the declaration
+  (layout synthesis, the merge stage) would under-estimate the NF.
+- **NF003** — a hand-built parallel group (a literal
+  ``register_parallel_chain([...])`` or a ``FlowTableEntry`` with
+  ``parallel=True``) contains members whose profiles conflict.
 """
 
 from __future__ import annotations
@@ -35,6 +45,14 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.lint.engine import LintViolation, register
+from repro.analysis.profiles import (
+    ActionProfile,
+    chain_conflicts,
+    module_string_constants,
+    profile_from_classdef,
+    profile_from_declaration,
+    undeclared_effects,
+)
 
 # ----------------------------------------------------------------------
 # Shared AST helpers
@@ -824,6 +842,257 @@ class _Flow001:
 
 
 # ----------------------------------------------------------------------
+# NF001 — read_only=True classes must not write or drop
+# ----------------------------------------------------------------------
+
+
+def _read_only_true_anchor(node: ast.ClassDef) -> ast.AST | None:
+    """The class-level ``read_only = True`` statement, if present.
+
+    Instance-level assignments (``self.read_only = ...`` in __init__)
+    are deliberately not matched: they are per-instance configuration,
+    not a class contract the analyzer can check statically.
+    """
+    for statement in node.body:
+        targets: list[ast.AST] = []
+        value: ast.AST | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            targets, value = [statement.target], statement.value
+        for target in targets:
+            if (isinstance(target, ast.Name) and target.id == "read_only"
+                    and isinstance(value, ast.Constant)
+                    and value.value is True):
+                return statement
+    return None
+
+
+class _Nf001:
+    rule_id = "NF001"
+    summary = ("declared read_only=True but the inferred action profile "
+               "writes header/payload fields or can DROP")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations: list[LintViolation] = []
+        constants = module_string_constants(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.ClassDef) and _is_nf_class(node)):
+                continue
+            anchor = _read_only_true_anchor(node)
+            if anchor is None:
+                continue
+            profile = profile_from_classdef(node, constants)
+            problems = []
+            if profile.opaque:
+                problems.append("hands the packet to code the analyzer "
+                                "cannot follow")
+            else:
+                if profile.writes:
+                    problems.append(f"writes {sorted(profile.writes)}")
+                if profile.can_drop:
+                    problems.append("can DROP")
+            if problems:
+                violations.append(_violation(
+                    path, anchor, self.rule_id,
+                    f"{node.name} declares read_only=True but its handler "
+                    f"{' and '.join(problems)}; the manager trusts this "
+                    f"bit when sharing packets across parallel NFs — fix "
+                    f"the declaration or suppress with a justification"))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# NF002 — @action_profile declarations must cover inferred effects
+# ----------------------------------------------------------------------
+
+
+def _parse_profile_decorator(
+        node: ast.ClassDef) -> tuple[ast.AST | None, dict | None]:
+    """The class's ``@action_profile(...)`` call and its literal kwargs.
+
+    Returns ``(None, None)`` when undecorated and ``(decorator, None)``
+    when decorated but not with resolvable literals (nothing provable).
+    """
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = _qualname(decorator.func)
+        if name.rsplit(".", 1)[-1] != "action_profile":
+            continue
+        kwargs: dict = {}
+        for keyword in decorator.keywords:
+            if keyword.arg is None:
+                return decorator, None
+            value = keyword.value
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                items = []
+                for element in value.elts:
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        items.append(element.value)
+                    else:
+                        return decorator, None
+                kwargs[keyword.arg] = tuple(items)
+            elif isinstance(value, ast.Constant):
+                kwargs[keyword.arg] = value.value
+            else:
+                return decorator, None
+        return decorator, kwargs
+    return None, None
+
+
+class _Nf002:
+    rule_id = "NF002"
+    summary = ("@action_profile declaration does not cover the effects "
+               "inferred from the handler ASTs")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        violations: list[LintViolation] = []
+        constants = module_string_constants(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.ClassDef) and _is_nf_class(node)):
+                continue
+            decorator, kwargs = _parse_profile_decorator(node)
+            if decorator is None or kwargs is None:
+                continue
+            inferred = profile_from_classdef(node, constants)
+            if inferred.opaque:
+                continue  # nothing provable against an opaque inference
+            declared = profile_from_declaration(kwargs)
+            issues = undeclared_effects(declared, inferred)
+            if issues:
+                violations.append(_violation(
+                    path, decorator, self.rule_id,
+                    f"{node.name}'s declared profile disagrees with the "
+                    f"inferred one: {'; '.join(issues)}"))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# NF003 — hand-built parallel groups must be conflict-free
+# ----------------------------------------------------------------------
+
+
+def _builtin_nf_profile(class_name: str) -> ActionProfile | None:
+    """Profile of a built-in NF by class name (None when unknown).
+
+    Imported lazily so linting arbitrary files never *requires* the
+    simulator packages; without them the rule simply resolves fewer
+    members (and stays silent for those groups).
+    """
+    try:
+        import repro.nfs as nfs
+        from repro.analysis.profiles import profile_of
+    except Exception:  # pragma: no cover - repro.nfs unavailable
+        return None
+    cls = getattr(nfs, class_name, None)
+    if isinstance(cls, type) and any(
+            base.__name__ == "NetworkFunction" for base in cls.__mro__[1:]):
+        return profile_of(cls)
+    return None
+
+
+def _literal_strings(node: ast.AST) -> list[str] | None:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values = []
+    for element in node.elts:
+        if (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            values.append(element.value)
+        else:
+            return None
+    return values
+
+
+def _parallel_group_members(node: ast.Call) -> list[str] | None:
+    """Member service ids of a hand-built parallel group, else None."""
+    tail = _qualname(node.func).rsplit(".", 1)[-1]
+    if tail == "register_parallel_chain":
+        operand = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "services":
+                operand = keyword.value
+        return _literal_strings(operand) if operand is not None else None
+    if tail == "FlowTableEntry":
+        parallel = False
+        actions: ast.AST | None = None
+        for keyword in node.keywords:
+            if (keyword.arg == "parallel"
+                    and isinstance(keyword.value, ast.Constant)):
+                parallel = keyword.value.value is True
+            elif keyword.arg == "actions":
+                actions = keyword.value
+        if not parallel or not isinstance(actions, (ast.List, ast.Tuple)):
+            return None
+        members = []
+        for element in actions.elts:
+            if (isinstance(element, ast.Call)
+                    and _qualname(element.func).rsplit(
+                        ".", 1)[-1] == "ToService"
+                    and element.args
+                    and isinstance(element.args[0], ast.Constant)
+                    and isinstance(element.args[0].value, str)):
+                members.append(element.args[0].value)
+            else:
+                return None
+        return members
+    return None
+
+
+class _Nf003:
+    rule_id = "NF003"
+    summary = ("hand-built parallel group contains members whose action "
+               "profiles conflict")
+
+    def __call__(self, tree: ast.Module, path: str) -> list[LintViolation]:
+        constants = module_string_constants(tree)
+        local_classes = {
+            node.name: node for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and _is_nf_class(node)}
+        # service id -> profile, bound by NF constructor calls in this
+        # module: ClassName("service", ...).  Heterogeneous rebinding of
+        # one service id unions the profiles (conservative).
+        bindings: dict[str, ActionProfile] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            class_name = _qualname(node.func).rsplit(".", 1)[-1]
+            if not (node.args and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            if class_name in local_classes:
+                profile = profile_from_classdef(local_classes[class_name],
+                                                constants)
+            else:
+                profile = _builtin_nf_profile(class_name)
+            if profile is None:
+                continue
+            service = node.args[0].value
+            existing = bindings.get(service)
+            bindings[service] = (profile if existing is None
+                                 else existing.merged_with(profile))
+        violations: list[LintViolation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            members = _parallel_group_members(node)
+            if members is None or len(members) < 2:
+                continue
+            profiles = [bindings.get(member) for member in members]
+            if any(profile is None for profile in profiles):
+                continue  # unresolvable member: nothing provable
+            issues = chain_conflicts(profiles)
+            if issues:
+                violations.append(_violation(
+                    path, node, self.rule_id,
+                    f"parallel group {members!r} is not conflict-free: "
+                    f"{'; '.join(issues)}"))
+        return violations
+
+
+# ----------------------------------------------------------------------
 # Registration (import order = report order)
 # ----------------------------------------------------------------------
 SIM001 = register(_Sim001())
@@ -834,3 +1103,6 @@ SIM005 = register(_Sim005())
 SIM006 = register(_Sim006())
 OWN001 = register(_Own001())
 FLOW001 = register(_Flow001())
+NF001 = register(_Nf001())
+NF002 = register(_Nf002())
+NF003 = register(_Nf003())

@@ -60,7 +60,7 @@ from repro.dataplane.messages import (
 )
 
 # NF programming model
-from repro.nfs import NetworkFunction, NfContext
+from repro.nfs import NetworkFunction, NfContext, action_profile
 
 # Control tier
 from repro.control import ControlPlane, NfvOrchestrator, SdnController
@@ -161,6 +161,7 @@ __all__ = [
     "UserMessage",
     # NF programming model
     "NetworkFunction",
+    "action_profile",
     "NfContext",
     # control tier
     "ControlPlane",

@@ -142,12 +142,24 @@ class SdnfvApp:
                inter_host_ports: dict[tuple[str, str], str] | None = None,
                proactive: bool = True,
                priority: int = 0,
+               auto_parallel: bool = False,
                network: typing.Any = None) -> GraphDeployment:
         """Instantiate a service graph.
 
         ``proactive=True`` pushes the compiled rules to every involved host
         immediately (pre-populated rules); with ``proactive=False`` rules
         are handed out on demand when hosts report flow-table misses.
+
+        ``auto_parallel=True`` replaces the declared-read-only fusion with
+        profile-driven layout synthesis: each host's registered NFs are
+        statically analyzed (:mod:`repro.analysis.profiles`) and
+        :meth:`ServiceGraph.auto_parallel_layout` fuses every adjacent run
+        whose profiles are conflict-free — a superset of the read-only
+        chains, with the manager's merge stage reconciling member writes
+        in graph order.  Register the NFs (``host.add_nf``) *before*
+        deploying: services without a VM yet fall back to the graph's
+        declared bit.  The default (False) keeps the legacy behaviour
+        bit-for-bit.
 
         With ``network=`` (a :class:`repro.topology.BuiltNetwork`), the
         deployment is *routed*: transit and arrival rules for non-adjacent
@@ -156,6 +168,11 @@ class SdnfvApp:
         ``deploy_distributed`` helper.
         """
         if network is not None:
+            if auto_parallel:
+                raise ValueError(
+                    "auto_parallel= is not supported with network= "
+                    "deployments; register profile-driven chains per "
+                    "host instead")
             return self._deploy_on_network(
                 graph, network, placement, match=match,
                 ingress_port=ingress_port, exit_port=exit_port,
@@ -176,12 +193,16 @@ class SdnfvApp:
         pushes: list[tuple[NfvHost, list[FlowTableEntry]]] = []
         for host_name in involved:
             host = self.hosts[host_name]
-            for chain in graph.parallel_chains():
-                local = [service for service in chain
-                         if placement is None
-                         or placement[service] == host_name]
-                if len(local) == len(chain):
-                    host.manager.register_parallel_chain(chain)
+            if auto_parallel:
+                self._register_auto_parallel(graph, host, host_name,
+                                             placement)
+            else:
+                for chain in graph.parallel_chains():
+                    local = [service for service in chain
+                             if placement is None
+                             or placement[service] == host_name]
+                    if len(local) == len(chain):
+                        host.manager.register_parallel_chain(chain)
             if proactive:
                 rules = [entry for _name, entry in compile_proactive_rules(
                     graph, placement, hosts=(host_name,), match=match,
@@ -190,6 +211,41 @@ class SdnfvApp:
                 pushes.append((host, rules))
         self._install_all(pushes)
         return deployment
+
+    def _register_auto_parallel(self, graph: ServiceGraph, host: NfvHost,
+                                host_name: str,
+                                placement: dict[str, str] | None) -> None:
+        """Profile-driven chain registration for one host.
+
+        Analysis imports stay lazy (same pattern as the ownership
+        verifier): a deployment that never opts in never loads the
+        analysis package.
+        """
+        from repro.analysis.profiles import ActionProfile, profile_of
+
+        profiles: dict[str, typing.Any] = {}
+        for service in graph.services:
+            vms = host.manager.vms_by_service.get(service, ())
+            if vms:
+                profile = profile_of(vms[0].nf)
+                for vm in vms[1:]:
+                    # Heterogeneous replicas: the service's effective
+                    # profile is the union of its replicas' effects.
+                    profile = profile.merged_with(profile_of(vm.nf))
+            elif graph.is_read_only(service):
+                profile = ActionProfile.declared_read_only()
+            else:
+                profile = ActionProfile.opaque_profile()
+            profiles[service] = profile
+        for group in graph.auto_parallel_layout(profiles):
+            if len(group) < 2:
+                continue
+            local = [service for service in group
+                     if placement is None
+                     or placement[service] == host_name]
+            if len(local) == len(group):
+                host.manager.register_parallel_chain(group,
+                                                     profiles=profiles)
 
     def _deploy_on_network(self, graph: ServiceGraph, network: typing.Any,
                            placement: dict[str, str] | None,

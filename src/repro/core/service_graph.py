@@ -257,3 +257,66 @@ class ServiceGraph:
                 chains.append(chain)
                 consumed.update(chain)
         return chains
+
+    def auto_parallel_layout(
+            self, profiles: typing.Mapping[str, typing.Any] | None = None,
+    ) -> list[list[str]]:
+        """The widest correct parallel/sequential hybrid for this graph.
+
+        Returns every service exactly once, in graph order, partitioned
+        into maximal parallel groups justified by pairwise
+        :class:`~repro.analysis.profiles.ActionProfile` compatibility
+        (singleton groups for everything else).  This is a strict
+        superset of :meth:`parallel_chains` read-only fusion: read-only
+        services still fuse (their profiles write nothing), and writers
+        with disjoint footprints — a DSCP marker next to a sampler that
+        never looks at DSCP — now fuse too.
+
+        The structural conditions match :meth:`parallel_chains` (each
+        hop must be the only out-edge and the only in-edge: every packet
+        leaving one member reaches the next); only the *semantic* test
+        changes, from the coarse ``read_only`` bit to the profile
+        conflict relation.
+
+        ``profiles`` maps service id → profile.  Services missing from
+        the mapping fall back to the graph's declared bit: read-only
+        services get the neutral read-everything profile (so legacy
+        fusion is preserved even without an analyzable NF), anything
+        else is an opaque, never-grouped singleton.
+        """
+        from repro.analysis.profiles import ActionProfile, chain_conflicts
+
+        known = dict(profiles or {})
+
+        def profile_for(service: str) -> typing.Any:
+            if service in known:
+                return known[service]
+            if self.is_read_only(service):
+                return ActionProfile.declared_read_only()
+            return ActionProfile.opaque_profile()
+
+        layout: list[list[str]] = []
+        consumed: set[str] = set()
+        for service in self.services:
+            if service in consumed:
+                continue
+            group = [service]
+            group_profiles = [profile_for(service)]
+            current = service
+            while True:
+                edges = self.out_edges(current)
+                if len(edges) != 1:
+                    break
+                nxt = edges[0].dst
+                if (nxt in _SENTINELS or nxt in consumed
+                        or len(self.predecessors(nxt)) != 1):
+                    break
+                candidate = profile_for(nxt)
+                if chain_conflicts([*group_profiles, candidate]):
+                    break
+                group.append(nxt)
+                group_profiles.append(candidate)
+                current = nxt
+            consumed.update(group)
+            layout.append(group)
+        return layout

@@ -237,13 +237,72 @@ class NicPort:
             batch.append(frame)
 
 
-class _ParallelGroup:
-    """Bookkeeping for one packet fanned out to parallel read-only VMs."""
+#: Sentinel for "this field/annotation key was absent at fan-out time".
+_UNSET = object()
 
-    def __init__(self, expected: int, exit_scope: str) -> None:
+#: Header fields the merge journal may snapshot and re-apply.  Matches
+#: ``repro.analysis.profiles.MERGEABLE_FIELDS`` (kept literal here so the
+#: data plane never imports the analysis package); five-tuple fields are
+#: excluded by construction — rewriting the flow key mid-group would
+#: change what lookups and balancers see.
+_MERGEABLE_FIELDS = ("dscp", "ttl", "payload")
+
+
+def _read_merge_field(packet: Packet, field: str):
+    if field == "payload":
+        return packet.payload
+    ip = packet.ip
+    return _UNSET if ip is None else getattr(ip, field)
+
+
+def _write_merge_field(packet: Packet, field: str, value) -> None:
+    if value is _UNSET:
+        return
+    if field == "payload":
+        packet.payload = value
+        return
+    ip = packet.ip
+    if ip is not None and getattr(ip, field) != value:
+        packet.ip = dataclasses.replace(ip, **{field: value})
+
+
+class _ParallelGroup:
+    """Bookkeeping for one packet fanned out to parallel member VMs.
+
+    Legacy groups (read-only fusion, rule-based fan-out) carry no
+    ``write_plan`` and behave exactly as before.  Profile-driven groups
+    additionally run the *merge stage*: at fan-out the group snapshots
+    every field and annotation key any member is allowed to write; as
+    each member's handler returns, the VM loop calls :meth:`capture`,
+    journaling the fields that member actually changed; the finalizer
+    calls :meth:`apply`, replaying the journal in graph order so the
+    merged packet's state is deterministic — last graph-order writer
+    wins — regardless of the members' execution interleaving.
+    """
+
+    def __init__(self, expected: int, exit_scope: str,
+                 write_plan: typing.Mapping[
+                     str, tuple[tuple[str, ...], tuple[str, ...]]]
+                 | None = None,
+                 packet: Packet | None = None) -> None:
         self.expected = expected
         self.exit_scope = exit_scope
         self.verdicts: list[tuple[int, Verdict]] = []
+        self.write_plan = write_plan
+        self._field_snapshot: dict[str, typing.Any] = {}
+        self._ann_snapshot: dict[str, typing.Any] = {}
+        #: (group_index, kind, name, value) records; kind is "field"/"ann".
+        self._journal: list[tuple[int, str, str, typing.Any]] = []
+        if write_plan is not None and packet is not None:
+            for fields, keys in write_plan.values():
+                for field in fields:
+                    if field not in self._field_snapshot:
+                        self._field_snapshot[field] = (
+                            _read_merge_field(packet, field))
+                for key in keys:
+                    if key not in self._ann_snapshot:
+                        self._ann_snapshot[key] = (
+                            packet.annotations.get(key, _UNSET))
 
     def member_done(self, descriptor: PacketDescriptor) -> bool:
         """Record one member's verdict; True when the group is complete."""
@@ -255,6 +314,45 @@ class _ParallelGroup:
         """A member was dropped before reaching its VM."""
         self.expected -= 1
         return self.expected > 0 and len(self.verdicts) >= self.expected
+
+    def capture(self, service_id: str, group_index: int,
+                packet: Packet) -> None:
+        """Journal the writes one member just made to the shared packet.
+
+        Called by the VM loop in the same event as the handler, so the
+        values read here are exactly what this member left behind.  Only
+        fields in the member's declared write set are examined, and only
+        values differing from the fan-out snapshot are journaled — a
+        member that declared a write but didn't perform it contributes
+        nothing (it must not mask an earlier graph-order writer).
+        """
+        if self.write_plan is None:
+            return
+        plan = self.write_plan.get(service_id)
+        if plan is None:
+            return
+        fields, keys = plan
+        for field in fields:
+            value = _read_merge_field(packet, field)
+            if value != self._field_snapshot.get(field, _UNSET):
+                self._journal.append((group_index, "field", field, value))
+        for key in keys:
+            value = packet.annotations.get(key, _UNSET)
+            if value != self._ann_snapshot.get(key, _UNSET):
+                self._journal.append((group_index, "ann", key, value))
+
+    def apply(self, packet: Packet) -> None:
+        """Replay the journal in graph order (ascending group index)."""
+        if not self._journal:
+            return
+        for _index, kind, name, value in sorted(
+                self._journal, key=lambda record: record[0]):
+            if kind == "field":
+                _write_merge_field(packet, name, value)
+            elif value is _UNSET:
+                packet.annotations.pop(name, None)
+            else:
+                packet.annotations[name] = value
 
 
 class NfManager:
@@ -328,6 +426,11 @@ class NfManager:
         self._next_tx = 0
         self._groups: dict[int, _ParallelGroup] = {}
         self._parallel_chains: dict[str, list[str]] = {}
+        # Merge plans for profile-driven chains, keyed like the chains
+        # (first member): service -> (mergeable fields, annotation keys)
+        # that member may write.  Absent for legacy read-only chains.
+        self._chain_merge_plans: dict[
+            str, dict[str, tuple[tuple[str, ...], tuple[str, ...]]]] = {}
         self._plans: dict[FiveTuple, dict] = {}
         # Miss classifier (§4.1 hybrid pipeline): flows whose first
         # contact with this host has been classified as proactive-hit /
@@ -526,24 +629,64 @@ class NfManager:
             yield self.sim.sleep(interval_ns)
             self.flow_table.expire(self.sim.now)
 
-    def register_parallel_chain(self, services: typing.Sequence[str]) -> None:
-        """Fuse a run of adjacent read-only services into a parallel group.
+    def register_parallel_chain(
+            self, services: typing.Sequence[str],
+            profiles: typing.Mapping[str, typing.Any] | None = None,
+    ) -> None:
+        """Fuse a run of adjacent services into a parallel group.
 
         §3.3: when an NF registers as read-only, the manager "uses this
         information to determine if the service can be run in parallel with
         any adjacent NFs in the service graph".  After registration, any
         packet routed to ``services[0]`` is fanned out to every member at
         once; the merged verdict continues from the last member's rules.
+
+        Without ``profiles`` (the legacy path) every member's VM must be
+        declared read-only.  With ``profiles`` — a mapping of service id
+        to its :class:`~repro.analysis.profiles.ActionProfile` — members
+        may *write* as long as the profiles are pairwise conflict-free
+        (this is what ``SdnfvApp.deploy(auto_parallel=True)`` registers);
+        the group then runs the merge stage, journaling each member's
+        writes and replaying them in graph order at finalization.
+        Conflicting profiles are rejected here at registration, the same
+        condition lint rule NF003 flags statically.
         """
         if len(services) < 2:
             raise ValueError("a parallel chain needs >= 2 services")
-        for service_id in services:
-            for vm in self.vms_by_service.get(service_id, ()):
-                if not vm.read_only:
-                    raise ValueError(
-                        f"service {service_id!r} has a non-read-only VM; "
-                        "cannot run in parallel")
+        if profiles is None:
+            for service_id in services:
+                for vm in self.vms_by_service.get(service_id, ()):
+                    if not vm.read_only:
+                        raise ValueError(
+                            f"service {service_id!r} has a non-read-only "
+                            "VM; cannot run in parallel")
+            self._parallel_chains[services[0]] = list(services)
+            return
+        # Off the packet path: validate with the analysis package (the
+        # data plane itself stays analysis-free; see host.py's verifier
+        # import for the same pattern).
+        from repro.analysis.profiles import chain_conflicts
+        missing = [service for service in services
+                   if service not in profiles]
+        if missing:
+            raise ValueError(f"no action profile for {missing!r}")
+        ordered = [profiles[service] for service in services]
+        issues = chain_conflicts(ordered)
+        if issues:
+            raise ValueError(
+                f"parallel chain {list(services)!r} has conflicting "
+                f"profiles: {'; '.join(issues)}")
+        plan = {
+            service: (
+                tuple(field for field in _MERGEABLE_FIELDS
+                      if field in profile.writes),
+                tuple(sorted(profile.annotations_written)),
+            )
+            for service, profile in zip(services, ordered)
+        }
         self._parallel_chains[services[0]] = list(services)
+        if any(fields or keys for fields, keys in plan.values()):
+            self._chain_merge_plans[services[0]] = plan
 
     def set_load_balance_policy(self, policy: LoadBalancePolicy) -> None:
         self._lb_policy = policy
@@ -866,7 +1009,10 @@ class NfManager:
         if self._parallel_chains and descriptor.group_id is None:
             chain = self._parallel_chains.get(destination.service_id)
             if chain is not None:
-                return self._fan_out_members(descriptor, chain)
+                return self._fan_out_members(
+                    descriptor, chain,
+                    plan=self._chain_merge_plans.get(
+                        destination.service_id))
         replicas = self.vms_by_service.get(destination.service_id, ())
         if not replicas:
             self.stats.dropped_no_vm += 1
@@ -892,10 +1038,14 @@ class NfManager:
         return self._fan_out_members(descriptor, members)
 
     def _fan_out_members(self, descriptor: PacketDescriptor,
-                         members: typing.Sequence[str]) -> int:
+                         members: typing.Sequence[str],
+                         plan: typing.Mapping[
+                             str, tuple[tuple[str, ...], tuple[str, ...]]]
+                         | None = None) -> int:
         group_id = next(_group_ids)
         group = _ParallelGroup(expected=len(members),
-                               exit_scope=members[-1])
+                               exit_scope=members[-1],
+                               write_plan=plan, packet=descriptor.packet)
         self._groups[group_id] = group
         self.stats.parallel_groups += 1
         packet = descriptor.packet
@@ -1245,6 +1395,18 @@ class NfManager:
             packet.release()
             port.transmit(packet)
 
+    def _capture_group_writes(self, descriptor: PacketDescriptor) -> None:
+        """Journal a parallel member's packet writes (merge stage).
+
+        Called by the VM loop in the same event as the member's handler,
+        immediately after it returns.  No-op for legacy groups (no write
+        plan) and for members whose profile declares no writes.
+        """
+        group = self._groups.get(descriptor.group_id)
+        if group is not None and group.write_plan is not None:
+            group.capture(descriptor.scope, descriptor.group_index,
+                          descriptor.packet)
+
     def _absorb_group_member(
             self, descriptor: PacketDescriptor
     ) -> tuple[PacketDescriptor, int] | None:
@@ -1260,6 +1422,7 @@ class NfManager:
             self._desc_free(descriptor)
             return None
         del self._groups[descriptor.group_id]
+        group.apply(descriptor.packet)
         verdict = resolve_parallel_verdicts(group.verdicts,
                                             policy=self.conflict_policy)
         merged = self._desc_alloc(descriptor.packet, group.exit_scope,
@@ -1294,6 +1457,7 @@ class NfManager:
             return False
         if group.member_lost():
             del self._groups[group_id]
+            group.apply(descriptor.packet)
             verdict = resolve_parallel_verdicts(
                 group.verdicts, policy=self.conflict_policy)
             merged = self._desc_alloc(descriptor.packet, group.exit_scope,

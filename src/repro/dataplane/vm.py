@@ -201,6 +201,10 @@ class NfVm:
                     # on the shared packet buffer.
                     delay = costs.vm_pipeline_latency_ns
                     if item.group_id is not None:
+                        # Merge stage: journal this member's writes while
+                        # still in the handler's event (before any other
+                        # member can touch the shared packet).
+                        self.manager._capture_group_writes(item)
                         delay += (costs.parallel_stagger_ns
                                   * item.group_index)
                     handoff.setdefault(delay, []).append(item)
@@ -290,6 +294,7 @@ class NfVm:
                         item.vm_priority = self.priority
                         delay = costs.vm_pipeline_latency_ns
                         if item.group_id is not None:
+                            self.manager._capture_group_writes(item)
                             delay += (costs.parallel_stagger_ns
                                       * item.group_index)
                     handoff.setdefault(delay, []).append(item)

@@ -7,7 +7,7 @@ Send-to / Default), optionally sending cross-layer messages.
 """
 
 from repro.nfs.ant import AntFlowDetector
-from repro.nfs.base import NetworkFunction, NfContext
+from repro.nfs.base import NetworkFunction, NfContext, action_profile
 from repro.nfs.cache import HttpCache
 from repro.nfs.compute import ComputeNf
 from repro.nfs.ddos import DdosDetector, DdosScrubber
@@ -51,6 +51,7 @@ __all__ = [
     "MemcachedProxy",
     "NatError",
     "NetworkFunction",
+    "action_profile",
     "NfContext",
     "PROTOCOL_ANNOTATION",
     "ProtocolClassifier",

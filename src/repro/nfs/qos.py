@@ -14,7 +14,7 @@ from repro.dataplane.actions import Verdict
 from repro.net.qos import PRIORITY_ANNOTATION, dscp_to_priority
 from repro.net.flow import FlowMatch
 from repro.net.packet import Packet
-from repro.nfs.base import NetworkFunction, NfContext
+from repro.nfs.base import NetworkFunction, NfContext, action_profile
 
 
 @dataclasses.dataclass(frozen=True)
@@ -29,6 +29,10 @@ class MarkingRule:
             raise ValueError(f"DSCP out of range: {self.dscp}")
 
 
+@action_profile(reads=("src_ip", "dst_ip", "protocol", "src_port",
+                       "dst_port", "ttl", "dscp"),
+                writes=("dscp",),
+                annotations_written=("qos_priority",))
 class DscpMarker(NetworkFunction):
     """Marks packets' DSCP by flow rules (first match wins)."""
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 from repro.dataplane.actions import Verdict
 from repro.net.flow import FlowMatch
 from repro.net.packet import Packet
-from repro.nfs.base import NetworkFunction, NfContext
+from repro.nfs.base import NetworkFunction, NfContext, action_profile
 
 
+@action_profile(reads=("src_ip", "dst_ip", "protocol",
+                       "src_port", "dst_port"),
+                annotations_written=("sampled",), sends=True)
 class Sampler(NetworkFunction):
     """Diverts sampled packets to an analysis service.
 

@@ -1,0 +1,293 @@
+"""The AST action-profile extractor (``repro.analysis.profiles``).
+
+Three layers of coverage: a committed golden snapshot of the inferred
+profile for every built-in NF (the contract the auto-parallel layout
+and the NF lint family both build on), unit tests for the conflict
+relation and profile algebra, and the declaration path
+(``@action_profile`` / ``profile_of`` precedence).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro.nfs as nfs
+from repro.analysis.profiles import (
+    ActionProfile,
+    chain_conflicts,
+    declared_profile,
+    infer_profile,
+    module_string_constants,
+    profile_from_classdef,
+    profile_of,
+    undeclared_effects,
+)
+from repro.nfs.base import NetworkFunction, action_profile
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent
+               / "data" / "action_profiles_golden.json")
+
+
+def builtin_nf_classes() -> dict[str, type]:
+    return {
+        name: obj for name, obj in vars(nfs).items()
+        if inspect.isclass(obj) and issubclass(obj, NetworkFunction)
+        and obj is not NetworkFunction
+    }
+
+
+def profile_of_source(source: str, class_name: str | None = None
+                      ) -> ActionProfile:
+    tree = ast.parse(textwrap.dedent(source))
+    constants = module_string_constants(tree)
+    classdefs = [node for node in tree.body
+                 if isinstance(node, ast.ClassDef)]
+    if class_name is not None:
+        classdefs = [c for c in classdefs if c.name == class_name]
+    return profile_from_classdef(classdefs[0], constants=constants)
+
+
+class TestGoldenSnapshot:
+    """Every built-in NF's inferred profile, pinned.
+
+    If this fails you either changed an NF handler (update the snapshot
+    deliberately — the diff *is* the review artifact, since the layout
+    synthesizer and lint rules consume these) or changed the analyzer
+    (the diff shows exactly which NFs it now sees differently).
+    Regenerate with::
+
+        PYTHONPATH=src python -c "
+        import json, inspect, repro.nfs as nfs
+        from repro.nfs.base import NetworkFunction
+        from repro.analysis.profiles import infer_profile
+        out = {n: infer_profile(c).as_dict()
+               for n, c in sorted(vars(nfs).items())
+               if inspect.isclass(c) and issubclass(c, NetworkFunction)
+               and c is not NetworkFunction}
+        print(json.dumps(out, indent=2))" > tests/data/action_profiles_golden.json
+    """
+
+    def test_every_builtin_nf_matches_golden(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        actual = {name: infer_profile(cls).as_dict()
+                  for name, cls in builtin_nf_classes().items()}
+        assert actual == golden
+
+    def test_golden_covers_the_whole_catalogue(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert set(golden) == set(builtin_nf_classes())
+        assert len(golden) >= 20
+
+    def test_no_builtin_nf_is_opaque(self):
+        """The analyzer understands every handler idiom the repo uses."""
+        for name, cls in builtin_nf_classes().items():
+            assert not infer_profile(cls).opaque, name
+
+
+class TestInference:
+    def test_narrow_field_reads(self):
+        profile = profile_of_source("""
+            class Peek(NetworkFunction):
+                def process(self, packet, ctx):
+                    if packet.flow.src_port == 80:
+                        self.hits += 1
+                    return Verdict.default()
+        """)
+        assert profile.reads == frozenset({"src_port"})
+        assert profile.writes == frozenset()
+        assert not profile.can_drop and not profile.can_send
+
+    def test_replace_write_narrows_to_named_fields(self):
+        profile = profile_of_source("""
+            import dataclasses
+
+            class Mark(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=4, ttl=9)
+                    return Verdict.default()
+        """)
+        assert profile.writes == frozenset({"dscp", "ttl"})
+        # replace() reads the whole header it copies.
+        assert {"src_ip", "dst_ip", "protocol"} <= set(profile.reads)
+
+    def test_helper_methods_are_followed(self):
+        profile = profile_of_source("""
+            class Indirect(NetworkFunction):
+                def _check(self, pkt):
+                    return pkt.flow.dst_ip == "10.0.0.1"
+
+                def process(self, packet, ctx):
+                    if self._check(packet):
+                        return Verdict.discard()
+                    return Verdict.default()
+        """)
+        assert profile.reads == frozenset({"dst_ip"})
+        assert profile.can_drop
+
+    def test_annotation_keys_resolved_through_constants(self):
+        profile = profile_of_source("""
+            MARK_KEY = "marked"
+
+            class Annotate(NetworkFunction):
+                def process(self, packet, ctx):
+                    if "seen" in packet.annotations:
+                        packet.annotations[MARK_KEY] = True
+                    return Verdict.default()
+        """)
+        assert profile.annotations_read == frozenset({"seen"})
+        assert profile.annotations_written == frozenset({"marked"})
+
+    def test_escaping_packet_goes_opaque(self):
+        profile = profile_of_source("""
+            class Leaky(NetworkFunction):
+                def process(self, packet, ctx):
+                    self.stash.append(packet)
+                    return Verdict.default()
+        """)
+        assert profile.opaque
+        assert not profile.groupable
+
+    def test_send_and_message_detection(self):
+        profile = profile_of_source("""
+            class Tap(NetworkFunction):
+                def process(self, packet, ctx):
+                    ctx.send_message({"kind": "seen"})
+                    return Verdict.send_to_service("ids")
+        """)
+        assert profile.can_send
+        assert profile.sends_messages
+
+
+class TestConflictRelation:
+    READER = ActionProfile(reads=frozenset({"src_ip"}))
+    DSCP_W = ActionProfile(writes=frozenset({"dscp"}))
+    TTL_W = ActionProfile(writes=frozenset({"ttl"}))
+    DROPPER = ActionProfile(reads=frozenset({"src_ip"}), can_drop=True)
+
+    def test_readers_never_conflict(self):
+        assert self.READER.conflicts_with(self.READER) == ()
+        assert self.READER.parallel_safe_with(self.READER)
+
+    def test_write_write_overlap(self):
+        clash = self.DSCP_W.conflicts_with(self.DSCP_W)
+        assert clash and "write/write" in clash[0]
+        assert self.DSCP_W.conflicts_with(self.TTL_W) == ()
+
+    def test_read_after_write_both_directions(self):
+        dscp_reader = ActionProfile(reads=frozenset({"dscp"}))
+        assert self.DSCP_W.conflicts_with(dscp_reader)
+        assert dscp_reader.conflicts_with(self.DSCP_W)
+
+    def test_drop_vs_modify_but_not_vs_annotations(self):
+        assert self.DROPPER.conflicts_with(self.DSCP_W)
+        annotator = ActionProfile(
+            annotations_written=frozenset({"sampled"}))
+        # Drop + annotation writer is the legacy Firewall ∥ FlowMonitor
+        # fusion — must stay legal.
+        assert self.DROPPER.conflicts_with(annotator) == ()
+
+    def test_annotation_wildcard_overlaps_everything(self):
+        wild = ActionProfile(annotations_written=frozenset({"*"}))
+        named = ActionProfile(annotations_written=frozenset({"x"}))
+        assert wild.conflicts_with(named)
+        assert wild.conflicts_with(ActionProfile()) == ()
+
+    def test_five_tuple_writers_not_groupable(self):
+        nat = ActionProfile(writes=frozenset({"src_ip", "src_port"}))
+        assert not nat.groupable
+        assert self.DSCP_W.groupable
+
+    def test_chain_conflicts_structural_rules(self):
+        sender = ActionProfile(can_send=True)
+        # SEND-capable member anywhere but last: rejected.
+        assert chain_conflicts([sender, self.READER])
+        assert not chain_conflicts([self.READER, sender])
+        # Opaque member: rejected.
+        assert chain_conflicts([ActionProfile.opaque_profile(),
+                                self.READER])
+        # Pairwise conflicts surface with member indices.
+        issues = chain_conflicts([self.DSCP_W, self.READER, self.DSCP_W])
+        assert any("0" in issue and "2" in issue for issue in issues)
+
+    def test_merged_with_unions_everything(self):
+        merged = self.DROPPER.merged_with(self.DSCP_W)
+        assert merged.can_drop
+        assert merged.writes == frozenset({"dscp"})
+        assert merged.reads == frozenset({"src_ip"})
+
+
+class TestDeclarations:
+    def test_decorator_takes_precedence_over_inference(self):
+        @action_profile(reads=("src_ip",), drops=True)
+        class Declared(NetworkFunction):
+            def process(self, packet, ctx):  # pragma: no cover
+                return None
+
+        declared = declared_profile(Declared)
+        assert declared is not None
+        assert declared.reads == frozenset({"src_ip"})
+        assert declared.can_drop
+        assert profile_of(Declared) == declared
+
+    def test_profile_of_falls_back_to_inference(self):
+        assert declared_profile(nfs.Firewall) is None
+        assert profile_of(nfs.Firewall) == infer_profile(nfs.Firewall)
+
+    def test_builtin_declarations_cover_their_handlers(self):
+        """NF002's dynamic twin: every shipped @action_profile is honest."""
+        for name, cls in builtin_nf_classes().items():
+            declared = declared_profile(cls)
+            if declared is None:
+                continue
+            issues = undeclared_effects(declared, infer_profile(cls))
+            assert not issues, (name, issues)
+
+    def test_sampler_and_dscp_marker_are_declared(self):
+        assert declared_profile(nfs.Sampler) is not None
+        assert declared_profile(nfs.DscpMarker) is not None
+
+    def test_as_dict_roundtrip_is_sorted_and_stable(self):
+        profile = ActionProfile(reads=frozenset({"src_ip", "dst_ip"}),
+                                writes=frozenset({"dscp"}))
+        snapshot = profile.as_dict()
+        assert snapshot["reads"] == ["dst_ip", "src_ip"]
+        assert json.dumps(snapshot) == json.dumps(profile.as_dict())
+
+
+class TestInferProfileEdgeCases:
+    def test_non_nf_class_is_opaque(self):
+        class Plain:
+            pass
+
+        assert infer_profile(Plain).opaque
+
+    def test_instance_accepted_as_target(self):
+        firewall = nfs.Firewall("fw")
+        assert infer_profile(firewall) == infer_profile(nfs.Firewall)
+
+    def test_subclass_merges_parent_handlers(self):
+        class Stricter(nfs.Firewall):
+            def process(self, packet, ctx):
+                if packet.flow.size > 1500:
+                    return None  # analyzer treats handler body only
+                return super().process(packet, ctx)
+
+        profile = infer_profile(Stricter)
+        assert profile.can_drop  # inherited from Firewall's handler
+        assert "size" in profile.reads
+
+    def test_read_only_graph_default_profile(self):
+        declared = ActionProfile.declared_read_only()
+        assert declared.groupable
+        assert not declared.mutates_packet
+
+    @pytest.mark.parametrize("field", ["src_ip", "dst_port", "protocol"])
+    def test_five_tuple_membership(self, field):
+        profile = ActionProfile(writes=frozenset({field}))
+        assert profile.writes_five_tuple

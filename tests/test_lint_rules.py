@@ -319,6 +319,208 @@ class TestFlow001IterationSafety:
         assert violations(good, "FLOW001") == []
 
 
+class TestNf001ReadOnlyTruthfulness:
+    def test_rejects_read_only_class_that_writes_headers(self):
+        bad = """
+            import dataclasses
+
+            class SneakyMarker(NetworkFunction):
+                read_only = True
+
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=10)
+                    return Verdict.default()
+        """
+        found = violations(bad, "NF001")
+        assert len(found) == 1
+        assert "read_only=True" in found[0].message
+        assert "dscp" in found[0].message
+
+    def test_rejects_read_only_class_that_drops(self):
+        bad = """
+            class QuietDropper(NetworkFunction):
+                read_only = True
+
+                def process(self, packet, ctx):
+                    if packet.flow.src_port == 23:
+                        return Verdict.discard()
+                    return Verdict.default()
+        """
+        found = violations(bad, "NF001")
+        assert len(found) == 1
+        assert "DROP" in found[0].message
+
+    def test_accepts_honest_reader_and_annotation_writer(self):
+        good = """
+            class Counter(NetworkFunction):
+                read_only = True
+
+                def process(self, packet, ctx):
+                    self.seen += 1
+                    packet.annotations["counted"] = True
+                    return Verdict.default()
+
+            class Rewriter(NetworkFunction):
+                read_only = False
+
+                def process(self, packet, ctx):
+                    packet.payload = b""
+                    return Verdict.default()
+        """
+        assert violations(good, "NF001") == []
+
+    def test_noqa_escape_hatch(self):
+        source = textwrap.dedent("""
+            class Dropper(NetworkFunction):
+                read_only = True  # sdnfv: noqa NF001 (drop is a verdict)
+
+                def process(self, packet, ctx):
+                    return Verdict.discard()
+        """)
+        assert lint_source(source, select=["NF001"]) == []
+
+
+class TestNf002DeclaredVsInferred:
+    def test_rejects_under_declared_profile(self):
+        bad = """
+            import dataclasses
+            from repro.nfs.base import action_profile
+
+            @action_profile(reads=("src_ip",))
+            class Marker(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, ttl=7)
+                    return Verdict.default()
+        """
+        found = violations(bad, "NF002")
+        assert len(found) == 1
+        assert "ttl" in found[0].message
+
+    def test_rejects_undeclared_drop_and_send(self):
+        bad = """
+            from repro.nfs.base import action_profile
+
+            @action_profile(reads=("src_ip",))
+            class Diverter(NetworkFunction):
+                def process(self, packet, ctx):
+                    if packet.flow.src_ip == "10.0.0.1":
+                        return Verdict.send_to_service("ids")
+                    return Verdict.discard()
+        """
+        found = violations(bad, "NF002")
+        assert len(found) == 1
+        assert "SEND" in found[0].message
+        assert "DROP" in found[0].message
+
+    def test_accepts_covering_declaration(self):
+        good = """
+            import dataclasses
+            from repro.nfs.base import action_profile
+
+            @action_profile(reads=("src_ip", "dst_ip", "protocol",
+                                   "ttl", "dscp"),
+                            writes=("ttl",), annotations_written=("hops",))
+            class Marker(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, ttl=7)
+                    packet.annotations["hops"] = 1
+                    return Verdict.default()
+        """
+        assert violations(good, "NF002") == []
+
+    def test_over_declaration_is_allowed(self):
+        # Declaring more than the handler does is conservative, not wrong.
+        good = """
+            from repro.nfs.base import action_profile
+
+            @action_profile(reads=("src_ip", "dst_ip"), drops=True)
+            class Reader(NetworkFunction):
+                def process(self, packet, ctx):
+                    return Verdict.default()
+        """
+        assert violations(good, "NF002") == []
+
+
+class TestNf003ConflictingParallelGroups:
+    def test_rejects_hand_built_group_with_conflicting_writers(self):
+        bad = """
+            import dataclasses
+
+            class MarkerA(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=1)
+                    return Verdict.default()
+
+            class MarkerB(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=2)
+                    return Verdict.default()
+
+            def wire(manager):
+                MarkerA("ma")
+                MarkerB("mb")
+                manager.register_parallel_chain(["ma", "mb"])
+        """
+        found = violations(bad, "NF003")
+        assert len(found) == 1
+        assert "write/write" in found[0].message
+
+    def test_rejects_conflicting_flow_entry_parallel_actions(self):
+        bad = """
+            import dataclasses
+
+            class MarkerA(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=1)
+                    return Verdict.default()
+
+            class MarkerB(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, dscp=2)
+                    return Verdict.default()
+
+            def wire(table):
+                MarkerA("ma")
+                MarkerB("mb")
+                table.install(FlowTableEntry(
+                    parallel=True,
+                    actions=(ToService("ma"), ToService("mb"))))
+        """
+        found = violations(bad, "NF003")
+        assert len(found) == 1
+
+    def test_accepts_disjoint_writers_and_readers(self):
+        good = """
+            import dataclasses
+
+            class TtlMarker(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.ip = dataclasses.replace(packet.ip, ttl=9)
+                    return Verdict.default()
+
+            class Anonymizer(NetworkFunction):
+                def process(self, packet, ctx):
+                    packet.payload = b""
+                    packet.annotations["scrubbed"] = True
+                    return Verdict.default()
+
+            def wire(manager):
+                TtlMarker("ttl")
+                Anonymizer("anon")
+                manager.register_parallel_chain(["ttl", "anon"])
+        """
+        assert violations(good, "NF003") == []
+
+    def test_silent_when_members_unresolvable(self):
+        # Dynamic group construction can't be checked statically.
+        good = """
+            def wire(manager, names):
+                manager.register_parallel_chain(names)
+                manager.register_parallel_chain(["mystery_service"])
+        """
+        assert violations(good, "NF003") == []
+
+
 class TestEngine:
     def test_noqa_suppresses_named_rule_only(self):
         source = textwrap.dedent("""
@@ -361,9 +563,10 @@ class TestEngine:
                             path="pkg/mod.py")
         assert str(found[0]).startswith("pkg/mod.py:2:5: SIM001")
 
-    def test_all_eight_rules_registered(self):
+    def test_all_rules_registered(self):
         assert set(RULES) == {"SIM001", "SIM002", "SIM003", "SIM004",
-                              "SIM005", "SIM006", "OWN001", "FLOW001"}
+                              "SIM005", "SIM006", "OWN001", "FLOW001",
+                              "NF001", "NF002", "NF003"}
 
 
 class TestSelfLint:
@@ -384,3 +587,45 @@ class TestSelfLint:
                              capture_output=True, text=True)
         assert bad.returncode == 1
         assert "SIM001" in bad.stdout
+        usage = subprocess.run([sys.executable, script],
+                               capture_output=True, text=True)
+        assert usage.returncode == 2
+
+    def test_cli_json_format(self, tmp_path):
+        import json as json_mod
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        script = str(REPO / "tools" / "sdnfv_lint.py")
+        run = subprocess.run(
+            [sys.executable, script, "--format", "json", str(dirty)],
+            capture_output=True, text=True)
+        assert run.returncode == 1
+        payload = json_mod.loads(run.stdout)
+        assert payload[0]["rule_id"] == "SIM001"
+        assert payload[0]["line"] == 2
+        assert payload[0]["path"].endswith("dirty.py")
+
+    def test_cli_sarif_format(self, tmp_path):
+        import json as json_mod
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        script = str(REPO / "tools" / "sdnfv_lint.py")
+        ok = subprocess.run(
+            [sys.executable, script, "--format", "sarif", str(clean)],
+            capture_output=True, text=True)
+        assert ok.returncode == 0
+        log = json_mod.loads(ok.stdout)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+        rule_ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"SIM001", "NF001", "NF002", "NF003"} <= rule_ids
+        bad = subprocess.run(
+            [sys.executable, script, "--format", "sarif", str(dirty)],
+            capture_output=True, text=True)
+        assert bad.returncode == 1
+        result = json_mod.loads(bad.stdout)["runs"][0]["results"][0]
+        assert result["ruleId"] == "SIM001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2

@@ -6,14 +6,19 @@ Usage::
     PYTHONPATH=src python tools/sdnfv_lint.py src/repro [more paths...]
     python tools/sdnfv_lint.py --list-rules
     python tools/sdnfv_lint.py --select SIM001,OWN001 src/repro
+    python tools/sdnfv_lint.py --format sarif src > lint.sarif
 
-Exits 1 when any violation is found (this is the blocking CI gate), 0
-on a clean tree.  Suppress a single line with ``# sdnfv: noqa RULE``.
+Exit codes are stable for CI: 0 on a clean tree, 1 when any violation
+is found (the blocking gate), 2 on usage errors.  ``--format json``
+emits one object per violation; ``--format sarif`` emits a SARIF 2.1.0
+log GitHub code scanning can ingest.  Suppress a single line with
+``# sdnfv: noqa RULE``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -22,7 +27,73 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.analysis.lint import RULES, lint_paths  # noqa: E402
+from repro.analysis.lint import RULES, LintViolation, lint_paths  # noqa: E402
+
+#: Schema pinned so downstream consumers can validate uploaded artifacts.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _violations_as_json(violations: list[LintViolation]) -> str:
+    payload = [
+        {
+            "path": violation.path,
+            "line": violation.line,
+            "column": violation.col + 1,
+            "rule_id": violation.rule_id,
+            "message": violation.message,
+        }
+        for violation in violations
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def _violations_as_sarif(violations: list[LintViolation]) -> str:
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule_id, rule in RULES.items()
+    ]
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    },
+                },
+            ],
+        }
+        for violation in violations
+    ]
+    log = {
+        "version": _SARIF_VERSION,
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sdnfv-lint",
+                        "informationUri":
+                            "https://example.invalid/sdnfv-lint",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            },
+        ],
+    }
+    return json.dumps(log, indent=2)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -38,6 +109,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: all)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--format", dest="output_format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="violation output format (default: text)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -57,8 +131,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown rule id(s): {', '.join(unknown)}")
 
     violations = lint_paths(args.paths, select=select)
-    for violation in violations:
-        print(violation)
+    if args.output_format == "json":
+        print(_violations_as_json(violations))
+    elif args.output_format == "sarif":
+        print(_violations_as_sarif(violations))
+    else:
+        for violation in violations:
+            print(violation)
     if violations:
         print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
         return 1
